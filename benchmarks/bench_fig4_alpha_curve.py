@@ -1,0 +1,67 @@
+"""Fig. 4 — density α(L) and transformation error vs. dictionary size.
+
+Paper: on the Salinas data (ε = 0.01), α(L) decreases for L > L_min and
+the dispersion over 10 random dictionary draws is small (< 4%); the
+transformation error falls below ε once L ≥ L_min.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import exd_transform, measure_alpha
+from repro.data import load_dataset
+from repro.utils import format_table
+
+EPS = 0.01
+SIZES = [24, 48, 96, 192, 320]
+TRIALS = 10
+
+
+@pytest.fixture(scope="module")
+def salina(bench_seed):
+    return load_dataset("salina", n=768, seed=bench_seed).matrix
+
+
+def test_fig4_transform_benchmark(benchmark, salina, bench_seed):
+    t, stats = benchmark.pedantic(
+        exd_transform, args=(salina, 192, EPS), kwargs={"seed": bench_seed},
+        rounds=1, iterations=1)
+    assert stats.all_converged
+
+
+def test_fig4_report(benchmark, report, salina, bench_seed):
+    def build():
+        rows = []
+        dispersions = []
+        for l in SIZES:
+            est = measure_alpha(salina, l, EPS, trials=TRIALS,
+                                seed=bench_seed)
+            # One dense reconstruction per L suffices for the error
+            # curve; repeating it per trial would dominate the run.
+            err = measure_alpha(salina, l, EPS, trials=1, seed=bench_seed,
+                                compute_error=True).mean_error
+            dispersion = est.std / est.mean if est.mean > 0 else 0.0
+            dispersions.append(dispersion)
+            rows.append([l, f"{est.mean:.2f}", f"{est.std:.3f}",
+                         f"{100 * dispersion:.1f}%",
+                         f"{err:.4f}",
+                         "yes" if est.feasible else "no"])
+        return rows, dispersions
+
+    rows, dispersions = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(
+        ["L", "alpha(L)", "std (10 trials)", "dispersion",
+         "measured error", "error <= eps"],
+        rows,
+        title=f"Fig. 4: alpha(L) and error vs L (salina, eps={EPS})")
+    alphas = [float(r[1]) for r in rows]
+    notes = [
+        "",
+        f"alpha decreasing beyond L_min: "
+        f"{'yes' if alphas[0] >= alphas[-1] else 'NO'} "
+        f"(paper: decreasing)",
+        f"max dispersion over trials: {100 * max(dispersions):.1f}% "
+        f"(paper: < 4%)",
+    ]
+    report("fig4_alpha_curve", table + "\n".join(notes))
+    assert alphas[0] >= alphas[-1]

@@ -1,0 +1,72 @@
+"""Fig. 5 — tunability of ExD: α(L) for three datasets × three ε.
+
+Paper: both increasing the dictionary redundancy L and loosening the
+error tolerance ε yield sparser coefficient matrices, with Light Field
+the sparsest and Cancer Cells the densest at equal settings.
+"""
+
+import pytest
+
+from repro.core import measure_alpha
+from repro.data import load_dataset
+from repro.utils import format_table
+
+DATASETS = ("salina", "cancer", "lightfield")
+EPSILONS = (0.01, 0.05, 0.1)
+SIZES = (96, 192, 384)
+N = 1024
+
+
+@pytest.fixture(scope="module")
+def matrices(bench_seed):
+    return {name: load_dataset(name, n=N, seed=bench_seed).matrix
+            for name in DATASETS}
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_fig5_alpha_benchmark(benchmark, matrices, name, bench_seed):
+    est = benchmark(measure_alpha, matrices[name], SIZES[1], 0.05,
+                    seed=bench_seed)
+    assert est.mean > 0
+
+
+def test_fig5_report(benchmark, report, matrices, bench_seed):
+    def build():
+        lines = []
+        final_alphas = {}
+        for name in DATASETS:
+            a = matrices[name]
+            rows = []
+            for l in SIZES:
+                row = [l]
+                for eps in EPSILONS:
+                    est = measure_alpha(a, l, eps, seed=bench_seed)
+                    row.append(f"{est.mean:.2f}"
+                               + ("" if est.feasible else " (infeasible)"))
+                    final_alphas[(name, l, eps)] = est.mean
+                rows.append(row)
+            lines.append(format_table(
+                ["L"] + [f"alpha @ eps={e}" for e in EPSILONS], rows,
+                title=f"Fig. 5 [{name}]  M={a.shape[0]}, N={a.shape[1]}"))
+            lines.append("")
+        return lines, final_alphas
+
+    lines, final_alphas = benchmark.pedantic(build, rounds=1, iterations=1)
+    # Paper's two "novel and critical properties":
+    checks = []
+    for name in DATASETS:
+        grow_l = final_alphas[(name, SIZES[0], 0.05)] >= \
+            final_alphas[(name, SIZES[-1], 0.05)]
+        grow_eps = final_alphas[(name, SIZES[-1], 0.01)] >= \
+            final_alphas[(name, SIZES[-1], 0.1)]
+        checks.append(f"{name}: larger L => sparser: "
+                      f"{'yes' if grow_l else 'NO'}; "
+                      f"larger eps => sparser: "
+                      f"{'yes' if grow_eps else 'NO'}")
+    ordering = (final_alphas[("lightfield", SIZES[-1], 0.1)]
+                <= final_alphas[("salina", SIZES[-1], 0.1)]
+                <= final_alphas[("cancer", SIZES[-1], 0.1)] + 1e-9)
+    checks.append(f"density ordering lightfield <= salina <= cancer: "
+                  f"{'yes' if ordering else 'NO'} (paper: same ordering)")
+    report("fig5_tunability", "\n".join(lines + checks))
+    assert all("NO" not in c for c in checks[:-1])

@@ -1,0 +1,81 @@
+"""Fig. 8 — verification of the performance model (Eq. 2).
+
+Paper: the predicted cost (FLOP-equivalents of Eq. 2) tracks the
+measured per-update runtime across dictionary sizes and platforms —
+top row predicted, bottom row measured.  Here "measured" is the
+α-β-simulated runtime of Algorithm 2 on the emulated platform, which
+includes effects the model ignores (latency, load imbalance), exactly
+the relationship the paper's figure demonstrates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, exd_transform, run_distributed_gram
+from repro.data import load_dataset
+from repro.platform import paper_platforms
+from repro.utils import format_table
+
+DATASETS = ("salina", "cancer", "lightfield")
+EPS = 0.1
+N = 2048
+SIZES = (96, 192, 384, 768)
+ITERS = 2
+
+
+@pytest.fixture(scope="module")
+def transforms(bench_seed):
+    out = {}
+    for name in DATASETS:
+        a = load_dataset(name, n=N, seed=bench_seed).matrix
+        out[name] = (a, {l: exd_transform(a, l, EPS, seed=bench_seed)[0]
+                         for l in SIZES})
+    return out
+
+
+def test_fig8_simulation_benchmark(benchmark, transforms, bench_seed):
+    a, by_l = transforms["salina"]
+    x = np.random.default_rng(bench_seed).standard_normal(a.shape[1])
+    cluster = paper_platforms()[2]
+    benchmark(run_distributed_gram, by_l[SIZES[0]], x, cluster)
+
+
+def test_fig8_report(benchmark, report, transforms, bench_seed):
+    lines, correlations = benchmark.pedantic(
+        _build, args=(transforms, bench_seed), rounds=1, iterations=1)
+    lines.append(f"minimum prediction-simulation correlation across "
+                 f"datasets x platforms: {min(correlations):.3f} "
+                 f"(paper: trends closely follow)")
+    report("fig8_model_verification", "\n".join(lines))
+    assert min(correlations) > 0.8
+
+
+def _build(transforms, bench_seed):
+    lines = []
+    correlations = []
+    for name in DATASETS:
+        a, by_l = transforms[name]
+        x = np.random.default_rng(bench_seed).standard_normal(a.shape[1])
+        rows = []
+        for cluster in paper_platforms():
+            model = CostModel(cluster)
+            predicted, simulated = [], []
+            for l in SIZES:
+                t = by_l[l]
+                predicted.append(model.time(t.m, t.l, t.nnz))
+                _, res = run_distributed_gram(t, x, cluster,
+                                              iterations=ITERS)
+                simulated.append(res.simulated_time / ITERS)
+            corr = float(np.corrcoef(predicted, simulated)[0, 1])
+            correlations.append(corr)
+            rows.append([cluster.name]
+                        + [f"{p:.2e} / {s * 1e6:.1f}us"
+                           for p, s in zip(predicted, simulated)]
+                        + [f"{corr:.3f}"])
+        lines.append(format_table(
+            ["platform"] + [f"L={l} (pred / sim)" for l in SIZES]
+            + ["corr"],
+            rows, title=f"Fig. 8 [{name}]  predicted Eq. 2 "
+                        f"(flop-equiv) vs simulated runtime"))
+        lines.append("")
+    return lines, correlations

@@ -1,0 +1,39 @@
+"""Table I — datasets used for the applications.
+
+Regenerates the dataset inventory with both the paper's reported shapes
+and the synthetic-surrogate shapes used here, and benchmarks surrogate
+generation throughput.
+"""
+
+import pytest
+
+from repro.data import DATASETS, load_dataset
+from repro.utils import format_table
+
+BENCH_N = 1024
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_table1_generate(benchmark, name, bench_seed):
+    bundle = benchmark(load_dataset, name, n=BENCH_N, seed=bench_seed)
+    assert bundle.matrix.shape[1] == BENCH_N
+
+
+def test_table1_report(benchmark, report, bench_seed):
+    def build():
+        rows = []
+        for name in sorted(DATASETS):
+            entry = DATASETS[name]
+            bundle = load_dataset(name, n=BENCH_N, seed=bench_seed)
+            m, n = bundle.shape
+            pm, pn = entry["paper_shape"]
+            rows.append([name, entry["application"],
+                         f"{pm} x {pn}", f"{m} x {n}",
+                         f"{bundle.matrix.nbytes / 1e6:.1f} MB"])
+        return format_table(
+            ["dataset", "application (paper Table I)", "paper shape",
+             "surrogate shape", "surrogate size"],
+            rows, title="Table I: datasets (synthetic surrogates)")
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("table1_datasets", table)

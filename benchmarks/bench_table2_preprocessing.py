@@ -1,0 +1,79 @@
+"""Table II — preprocessing overhead (ExD tuning + execution).
+
+Paper: one-time tuning + transformation overhead on 64 cores (8×8),
+with Cancer Cells costlier than the (larger) Light Field because its
+denser geometry needs more OMP iterations per column.
+"""
+
+import pytest
+
+from repro.core import CostModel, exd_transform_distributed, tune_dictionary_size
+from repro.data import load_dataset
+from repro.platform import platform_by_name
+from repro.utils import Timer, format_table
+
+DATASETS = ("salina", "cancer", "lightfield")
+EPS = 0.1
+N = 1024
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return platform_by_name("8x8")
+
+
+@pytest.fixture(scope="module")
+def matrices(bench_seed):
+    return {name: load_dataset(name, n=N, seed=bench_seed).matrix
+            for name in DATASETS}
+
+
+def test_table2_tuning_benchmark(benchmark, matrices, cluster, bench_seed):
+    model = CostModel(cluster)
+    res = benchmark(tune_dictionary_size, matrices["salina"], EPS, model,
+                    seed=bench_seed, subset_fraction=0.1,
+                    candidates=[64, 128, 256])
+    assert res.best_size in (64, 128, 256)
+
+
+def test_table2_report(benchmark, report, matrices, cluster, bench_seed):
+    rows, omp_iters = benchmark.pedantic(
+        _build, args=(matrices, cluster, bench_seed),
+        rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "tuned L*", "tuning (ms, host)",
+         "transform (ms, host)", "overall (ms, host)",
+         "transform (ms, simulated 8x8)", "OMP iters/column"],
+        rows, title=f"Table II: preprocessing overhead (eps={EPS}, "
+                    f"{cluster.describe()})")
+    note = ("\ncancer needs more OMP iterations/column than lightfield: "
+            + ("yes" if omp_iters["cancer"] > omp_iters["lightfield"]
+               else "NO") + " (paper: yes — denser geometry)")
+    report("table2_preprocessing", table + note)
+    assert omp_iters["cancer"] > omp_iters["lightfield"]
+
+
+def _build(matrices, cluster, bench_seed):
+    model = CostModel(cluster)
+    rows = []
+    omp_iters = {}
+    for name in DATASETS:
+        a = matrices[name]
+        t_tune = Timer()
+        with t_tune:
+            tuning = tune_dictionary_size(a, EPS, model, seed=bench_seed,
+                                          subset_fraction=0.15)
+        t_xform = Timer()
+        with t_xform:
+            transform, stats, spmd = exd_transform_distributed(
+                a, tuning.best_size, EPS, cluster, seed=bench_seed)
+        omp_iters[name] = stats.omp_iterations / a.shape[1]
+        rows.append([
+            name, tuning.best_size,
+            f"{t_tune.elapsed * 1e3:.0f}",
+            f"{t_xform.elapsed * 1e3:.0f}",
+            f"{(t_tune.elapsed + t_xform.elapsed) * 1e3:.0f}",
+            f"{spmd.simulated_time * 1e3:.2f}",
+            f"{omp_iters[name]:.2f}",
+        ])
+    return rows, omp_iters

@@ -1,0 +1,87 @@
+"""Table III — memory footprint of each transformation.
+
+Paper: words/bytes to store (D, C) per method at ε = 0.1.  RCSS/oASIS/
+RankMap produce one platform-independent footprint; ExtDict re-tunes L
+per processor count (P = 1, 4, 16, 64) and achieves the smallest
+footprint through over-complete dictionaries with sparse coefficients.
+"""
+
+import pytest
+
+from repro.baselines import oasis_transform, rankmap_transform, rcss_transform
+from repro.core import CostModel, exd_transform, tune_dictionary_size
+from repro.data import load_dataset
+from repro.platform import paper_platforms
+from repro.utils import format_table
+
+DATASETS = ("salina", "cancer", "lightfield")
+EPS = 0.1
+N = 2048
+WORD_MB = 8 / 1e6
+
+
+@pytest.fixture(scope="module")
+def matrices(bench_seed):
+    return {name: load_dataset(name, n=N, seed=bench_seed).matrix
+            for name in DATASETS}
+
+
+def test_table3_transform_benchmark(benchmark, matrices, bench_seed):
+    t = benchmark(rcss_transform, matrices["salina"], EPS,
+                  seed=bench_seed)
+    assert t.memory_words > 0
+
+
+def test_table3_report(benchmark, report, matrices, bench_seed):
+    platforms = paper_platforms()
+    rows, ratios = benchmark.pedantic(
+        _build, args=(matrices, platforms, bench_seed),
+        rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "original (MB)", "RCSS", "oASIS", "RankMap",
+         "ExtDict P=1", "P=4", "P=16", "P=64"],
+        rows, title=f"Table III: transform memory (MB), eps={EPS}, N={N}")
+    checks = []
+    for name in DATASETS:
+        r = ratios[name]
+        checks.append(
+            f"{name}: ExtDict improvement — {r['original']:.1f}x vs "
+            f"original, {r['rcss']:.1f}x vs RCSS, {r['oasis']:.1f}x vs "
+            f"oASIS, {r['rankmap']:.2f}x vs RankMap")
+    report("table3_memory", table + "\n\n" + "\n".join(checks))
+    for name in DATASETS:
+        assert ratios[name]["original"] > 2.0
+        assert ratios[name]["rcss"] >= 0.95
+
+
+def _build(matrices, platforms, bench_seed):
+    rows = []
+    ratios = {}
+    for name in DATASETS:
+        a = matrices[name]
+        original = a.size
+        base_mem = {
+            "rcss": rcss_transform(a, EPS, seed=bench_seed).memory_words,
+            "oasis": oasis_transform(a, EPS, seed=bench_seed).memory_words,
+            "rankmap": rankmap_transform(
+                a, EPS, seed=bench_seed,
+                subset_fraction=0.15).memory_words,
+        }
+        ext = {}
+        for cluster in platforms:
+            model = CostModel(cluster)
+            tuning = tune_dictionary_size(a, EPS, model,
+                                          objective="memory",
+                                          seed=bench_seed,
+                                          subset_fraction=0.1)
+            t, _ = exd_transform(a, tuning.best_size, EPS, seed=bench_seed)
+            ext[cluster.size] = t.memory_words
+        best_ext = min(ext.values())
+        ratios[name] = {k: v / best_ext for k, v in base_mem.items()}
+        ratios[name]["original"] = original / best_ext
+        rows.append(
+            [name, f"{original * WORD_MB:.2f}"]
+            + [f"{base_mem[k] * WORD_MB:.2f}"
+               for k in ("rcss", "oasis", "rankmap")]
+            + [f"{ext[p.size] * WORD_MB:.2f}" for p in platforms])
+    return rows, ratios

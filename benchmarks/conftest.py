@@ -1,0 +1,50 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one paper table/figure as a plain-text table.
+Because pytest captures stdout, tables are routed through the ``report``
+fixture: they are written to ``benchmarks/results/<name>.txt`` and
+echoed in the terminal summary after the run, so
+``pytest benchmarks/ --benchmark-only`` shows both pytest-benchmark's
+timing table and the reproduced paper artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_collected: list[tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Session-wide sink: ``report(name, text)`` records one artefact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        _collected.append((name, text))
+        safe = name.replace("/", "_").replace(" ", "_").lower()
+        (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collected:
+        return
+    terminalreporter.section("reproduced paper tables/figures")
+    for name, text in _collected:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    """One seed for the whole benchmark session (reproducible tables)."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "7"))

@@ -1,0 +1,44 @@
+"""Image denoising with LASSO: ExtDict gradient descent vs. SGD.
+
+Reproduces the paper's first application (Sec. VIII-A) end to end: a
+noisy image is reconstructed as a sparse combination of a clean-atom
+corpus by solving ``min_x ||Ax - y||^2 + lambda*||x||_1``, with the
+Gram updates running on an emulated multi-node platform.
+
+Run:  python examples/image_denoising.py
+"""
+
+from repro.apps import make_denoising_setup, run_denoising
+from repro.data import psnr
+from repro.platform import platform_by_name
+from repro.utils import format_table
+
+
+def main() -> None:
+    setup = make_denoising_setup(image_size=24, n_atoms=384, n_bases=12,
+                                 snr_db=20.0, seed=0)
+    base_psnr = psnr(setup.y_clean, setup.y_noisy)
+    print(f"corpus: {setup.a.shape[0]} pixels x {setup.a.shape[1]} atoms")
+    print(f"noisy input PSNR: {base_psnr:.2f} dB (SNR 20 dB)")
+
+    cluster = platform_by_name("1x4")
+    rows = []
+    for method in ("extdict", "dense", "sgd"):
+        res = run_denoising(setup, method=method, eps=0.01,
+                            cluster=cluster, lam=1e-3, lr=0.2,
+                            max_iter=250, tol=1e-6, seed=0)
+        rows.append([method, f"{res.psnr_db:.2f} dB", res.iterations,
+                     f"{res.simulated_time * 1e3:.3f} ms",
+                     "yes" if res.converged else "no"])
+    print()
+    print(format_table(
+        ["method", "output PSNR", "iterations", "simulated time",
+         "converged"], rows,
+        title=f"Denoising on {cluster.name} (paper Fig. 9a setting)"))
+    print("\nExtDict runs provably-converging gradient descent on the "
+          "transformed Gram matrix;\nSGD touches only a 64-row batch per "
+          "step, so each iteration is cheap but many more are needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""PCA by the Power method: raw AᵀA vs. the ExD transform (Fig. 10/12).
+
+Finds the top-5 eigenvalues of each dataset surrogate's Gram matrix
+with the distributed Power method, once on the raw data and once on the
+platform-tuned ``(DC)ᵀDC``, reporting simulated runtime and learning
+error against the exact spectrum.
+
+Run:  python examples/pca_power_method.py
+"""
+
+from repro.apps import eigenvalue_error, exact_gram_eigenvalues, run_pca
+from repro.data import load_dataset
+from repro.platform import platform_by_name
+from repro.utils import format_table
+
+
+def main() -> None:
+    cluster = platform_by_name("2x8")
+    k = 5
+    rows = []
+    for name in ("salina", "cancer", "lightfield"):
+        a = load_dataset(name, n=768, seed=3).matrix
+        exact = exact_gram_eigenvalues(a, k)
+        dense = run_pca(a, k, method="dense", cluster=cluster, seed=0,
+                        tol=1e-9, max_iter=300)
+        ext = run_pca(a, k, method="extdict", eps=0.1, cluster=cluster,
+                      seed=0, tol=1e-9, max_iter=300)
+        speedup = dense.simulated_time / max(ext.simulated_time, 1e-12)
+        rows.append([
+            name,
+            f"{dense.simulated_time * 1e3:.2f} ms",
+            f"{ext.simulated_time * 1e3:.2f} ms",
+            f"{speedup:.1f}x",
+            f"{eigenvalue_error(ext.eigenvalues, exact):.2e}",
+        ])
+    print(format_table(
+        ["dataset", "AtA power method", "ExtDict power method",
+         "speedup", "eigenvalue error"], rows,
+        title=f"Top-{k} PCA on {cluster.name} (paper Fig. 10/12 setting)"))
+    print("\nThe eigenvalue error stays small at eps=0.1 while the "
+          "transformed updates avoid the dense M*N product entirely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Subspace clustering from ExD codes (the Sec. V-B signal, closed-loop).
+
+The sparsity guarantee behind ExtDict comes from sparse subspace
+clustering: a column's OMP code over a union-of-subspaces dictionary
+picks atoms from the column's own subspace.  This example turns that
+around — the code matrix C, produced as a by-product of the transform,
+clusters the data:
+
+1. generate columns from 3 hidden subspaces;
+2. ExD-transform;
+3. affinity |C|'|C|  ->  spectral embedding (Power method)  ->  k-means;
+4. score against the generator's ground-truth labels.
+
+Run:  python examples/subspace_clustering.py
+"""
+
+import numpy as np
+
+from repro.apps import clustering_accuracy, code_affinity, subspace_cluster
+from repro.data import union_of_subspaces
+from repro.utils import format_table
+
+
+def main() -> None:
+    a, model = union_of_subspaces(m=48, n=300, n_subspaces=3, dim=3,
+                                  noise=0.02, seed=5)
+    print(f"data: {a.shape[0]}x{a.shape[1]}, 3 hidden subspaces "
+          f"(dims {model.dims}), 2% noise")
+
+    result = subspace_cluster(a, 3, eps=0.05, seed=0)
+    acc = clustering_accuracy(result.labels, model.labels)
+    t = result.transform
+    print(f"ExD transform: L={t.l}, alpha={t.alpha:.2f} nnz/column")
+    print(f"clustering accuracy vs ground truth: {acc:.3f}")
+
+    # Show the affinity structure the codes expose.
+    w = code_affinity(t)
+    same = model.labels[:, None] == model.labels[None, :]
+    np.fill_diagonal(same, False)
+    other = ~same & ~np.eye(a.shape[1], dtype=bool)
+    rows = [
+        ["same subspace", f"{w[same].mean():.4f}"],
+        ["different subspace", f"{w[other].mean():.4f}"],
+    ]
+    print()
+    print(format_table(["column pair", "mean code affinity"], rows,
+                       title="Why it works: codes share atoms only "
+                             "within a subspace"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Light-field super-resolution (paper Sec. VIII-A).
+
+A 5x5 camera array dataset is built from synthetic scenes; the
+observation comes from the central 3x3 cameras only (576 of 1600 rows).
+LASSO over the row-restricted dataset finds a sparse code whose
+full-row reconstruction recovers all 25 views.
+
+Run:  python examples/super_resolution.py
+"""
+
+from repro.apps import make_super_resolution_setup, run_super_resolution
+from repro.platform import platform_by_name
+from repro.utils import format_table
+
+
+def main() -> None:
+    setup = make_super_resolution_setup(cams=5, cams_sub=3, patch=8,
+                                        image_size=40, n_images=3,
+                                        stride=4, seed=0)
+    print(f"light-field dataset: {setup.a_full.shape[0]} rows "
+          f"(5x5 cameras x 8x8 patches) x {setup.a_full.shape[1]} columns")
+    print(f"observed rows: {setup.rows.size} (central 3x3 cameras)")
+
+    cluster = platform_by_name("1x4")
+    rows = []
+    for method in ("extdict", "sgd"):
+        res = run_super_resolution(setup, method=method, eps=0.01,
+                                   cluster=cluster, lam=1e-3, lr=0.2,
+                                   max_iter=300, tol=1e-6, seed=0)
+        rows.append([method, f"{res.psnr_db:.2f} dB",
+                     f"{res.reconstruction_error:.4f}", res.iterations,
+                     f"{res.simulated_time * 1e3:.3f} ms"])
+    print()
+    print(format_table(
+        ["method", "full-stack PSNR", "rel. error", "iterations",
+         "simulated time"], rows,
+        title=f"Super-resolution on {cluster.name} (paper Fig. 9b setting)"))
+    print("\nPSNR is scored on the full 1600-row stack, i.e. on the 16 "
+          "camera views the solver never observed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""LS-SVM classification through the transformed Gram matrix.
+
+The paper lists SVM solvers among the Gram-iterative algorithms ExtDict
+serves (Sec. II-A).  The least-squares SVM trains by solving
+``(AᵀA + I/γ) β = y`` with conjugate gradients — one Gram update per
+iteration — so swapping in ``(DC)ᵀDC`` accelerates training the same
+way it accelerates LASSO and PCA.
+
+Run:  python examples/svm_classification.py
+"""
+
+import numpy as np
+
+from repro.apps import train_ls_svm, train_ls_svm_transformed
+from repro.core import exd_transform
+from repro.data import union_of_subspaces
+from repro.utils import Timer, format_table
+
+
+def subspace_labelled_data(n, seed):
+    """Dense columns from two hidden *affine* subspaces; the label is
+    the subspace.  The offsets make the classes linearly separable
+    (linear subspaces through the origin are sign-symmetric and are
+    not), while the low-dimensional structure ExD exploits remains."""
+    a, model = union_of_subspaces(m=48, n=n, n_subspaces=2, dim=3,
+                                  noise=0.02, seed=seed)
+    labels = np.where(model.labels == 0, 1.0, -1.0)
+    mu = np.random.default_rng(12345).standard_normal(48)
+    mu /= np.linalg.norm(mu)
+    a = a + 2.0 * np.outer(mu, labels)
+    return a, labels
+
+
+def main() -> None:
+    a, labels = subspace_labelled_data(600, seed=2)
+    a_test, y_test = subspace_labelled_data(300, seed=2)
+    print(f"training: {a.shape[0]} features x {a.shape[1]} samples "
+          f"(columns), labels = hidden subspace membership")
+
+    t_exact = Timer()
+    with t_exact:
+        exact = train_ls_svm(a, labels, gamma=50.0)
+
+    transform, _ = exd_transform(a, 96, 0.05, seed=0)
+    t_approx = Timer()
+    with t_approx:
+        approx = train_ls_svm_transformed(transform, labels, gamma=50.0)
+
+    rows = []
+    for name, model, timer in (("exact AtA", exact, t_exact),
+                               ("ExtDict (DC)'DC", approx, t_approx)):
+        train_acc = float(np.mean(model.predict(a) == labels))
+        test_acc = float(np.mean(model.predict(a_test) == y_test))
+        rows.append([name, f"{train_acc:.3f}", f"{test_acc:.3f}",
+                     model.meta["cg_iterations"],
+                     f"{timer.elapsed * 1e3:.1f} ms"])
+    print()
+    print(format_table(
+        ["Gram backend", "train acc", "test acc", "CG iterations",
+         "train wall time"],
+        rows, title="LS-SVM via conjugate gradients on the Gram matrix"))
+    print(f"\ntransform: L={transform.l}, alpha={transform.alpha:.2f} — "
+          f"each CG iteration costs nnz(C)+M*L multiplies instead of "
+          f"2*M*N.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Comparison points from the paper's evaluation (Sec. VIII-A):
+
+* dense ``AᵀA`` — the untransformed baseline;
+* RCSS — randomized column subset selection with dense least-squares
+  coefficients [17];
+* oASIS — adaptive greedy column selection [22];
+* RankMap — error-minimal basis with sparse coefficients, not platform
+  tuned [28];
+* SGD — distributed minibatch stochastic gradient descent with Adagrad.
+
+Every transformation baseline returns the same
+:class:`~repro.core.transform.TransformedData` record as ExD, so it can
+be dropped into the ExtDict framework unchanged ("each of these
+transformations can substitute ExD within our proposed framework").
+"""
+
+from repro.baselines.dense import (
+    DenseGramOperator,
+    LocalDenseGramWorker,
+    dense_gram_update_program,
+    run_dense_distributed_gram,
+)
+from repro.baselines.rcss import rcss_transform
+from repro.baselines.oasis import oasis_transform
+from repro.baselines.rankmap import rankmap_transform
+from repro.baselines.sgd import SGDResult, sgd_lasso, distributed_sgd_lasso
+
+__all__ = [
+    "DenseGramOperator",
+    "LocalDenseGramWorker",
+    "dense_gram_update_program",
+    "run_dense_distributed_gram",
+    "rcss_transform",
+    "oasis_transform",
+    "rankmap_transform",
+    "SGDResult",
+    "sgd_lasso",
+    "distributed_sgd_lasso",
+]

@@ -1,0 +1,109 @@
+"""The untransformed baseline: distributed ``AᵀA x`` on raw data.
+
+Column-partitioned like Algorithm 2 but with the dense data block:
+``v_i = A_i x_i`` (length M) reduced to root and broadcast back, then
+``z_i = A_iᵀ v``.  Per-iteration critical-path traffic: ``2·M`` words;
+arithmetic ``2·M·N/P`` multiplies — the quantities Fig. 7/10 compare
+against the transformed costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.ops import counted_dense_matvec, counted_dense_rmatvec
+from repro.utils.validation import check_matrix
+
+
+class DenseGramOperator:
+    """Serial ``x -> AᵀA x`` with FLOP accounting (never forms AᵀA)."""
+
+    def __init__(self, a) -> None:
+        self.a = check_matrix(a, "A")
+        self.flops = 0
+
+    @property
+    def n(self) -> int:
+        """Operand length."""
+        return self.a.shape[1]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        v, f1 = counted_dense_matvec(self.a, np.asarray(x, np.float64))
+        out, f2 = counted_dense_rmatvec(self.a, v)
+        self.flops += f1.total + f2.total
+        return out
+
+
+class LocalDenseGramWorker:
+    """Per-rank worker for distributed ``AᵀA x`` (baseline of Alg. 2)."""
+
+    def __init__(self, comm, a: np.ndarray) -> None:
+        self.comm = comm
+        a = np.asarray(a, dtype=np.float64)
+        n = a.shape[1]
+        p, rank = comm.Get_size(), comm.Get_rank()
+        self.lo, self.hi = rank * n // p, (rank + 1) * n // p
+        self.a_i = np.ascontiguousarray(a[:, self.lo:self.hi])
+
+    @property
+    def local_n(self) -> int:
+        """Number of columns this rank owns."""
+        return self.hi - self.lo
+
+    def slice_local(self, x: np.ndarray) -> np.ndarray:
+        """Extract this rank's block of a full-length vector."""
+        return np.asarray(x[self.lo:self.hi], dtype=np.float64).copy()
+
+    def apply(self, x_i: np.ndarray) -> np.ndarray:
+        """One distributed Gram update on the raw data."""
+        comm = self.comm
+        v_i, f1 = counted_dense_matvec(self.a_i, x_i)
+        comm.charge_flops(f1)
+        v = comm.reduce(v_i, op="sum", root=0)
+        v = comm.bcast(v, root=0)
+        z_i, f2 = counted_dense_rmatvec(self.a_i, v)
+        comm.charge_flops(f2)
+        return z_i
+
+    def adjoint_data_apply(self, y: np.ndarray) -> np.ndarray:
+        """Local block of ``Aᵀy`` (one-time setup for regression)."""
+        out, f = counted_dense_rmatvec(self.a_i, np.asarray(y, np.float64))
+        self.comm.charge_flops(f)
+        return out
+
+
+def dense_gram_update_program(comm, a: np.ndarray, x: np.ndarray,
+                              iterations: int = 1, *,
+                              normalize: bool = False):
+    """Rank program: ``iterations`` baseline Gram updates."""
+    worker = LocalDenseGramWorker(comm, a)
+    x_i = worker.slice_local(x)
+    for _ in range(iterations):
+        z_i = worker.apply(x_i)
+        if normalize:
+            norm_sq = comm.allreduce(float(z_i @ z_i), op="sum")
+            norm = float(np.sqrt(norm_sq))
+            if norm > 0:
+                z_i = z_i / norm
+        x_i = z_i
+    blocks = comm.gather(x_i, root=0)
+    if comm.Get_rank() == 0:
+        return np.concatenate(blocks)
+    return None
+
+
+def run_dense_distributed_gram(a, x: np.ndarray, cluster, *,
+                               iterations: int = 1,
+                               normalize: bool = False):
+    """Driver: baseline distributed Gram updates on the emulated cluster."""
+    from repro.mpi.runtime import run_spmd
+
+    a = check_matrix(a, "A")
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (a.shape[1],):
+        raise ValidationError(
+            f"x must have shape ({a.shape[1]},), got {x.shape}")
+    result = run_spmd(0, dense_gram_update_program, a, x, iterations,
+                      normalize=normalize, cluster=cluster)
+    return result.returns[0], result

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Inventory of platform presets and dataset surrogates.
+``tune``
+    Run the platform-aware tuner on a dataset and print the Sec. VII
+    tuning table.
+``transform``
+    Build an ExD transform (tuned or fixed-L) and save it to ``.npz``.
+``pca``
+    Top-k PCA through a transform, with the exact spectrum and the
+    learning error (the Fig. 10/12 measurement for one configuration).
+
+Input data is either a named surrogate (``--dataset salina``) or a
+``.npy`` file of shape ``(M, N)`` (``--input``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import CostModel, ExtDict, exd_transform, save_transform, tune_dictionary_size
+from repro.data import DATASETS, load_dataset
+from repro.errors import ReproError
+from repro.platform import PAPER_PLATFORM_NAMES, paper_platforms, platform_by_name
+from repro.utils import format_table
+
+
+def _load_matrix(args) -> np.ndarray:
+    if getattr(args, "input", None):
+        arr = np.load(args.input)
+        if arr.ndim != 2:
+            raise ReproError(
+                f"--input must hold a 2-D array, got shape {arr.shape}")
+        return np.asarray(arr, dtype=np.float64)
+    return load_dataset(args.dataset, n=args.n, seed=args.seed).matrix
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=sorted(DATASETS),
+                        default="salina",
+                        help="named synthetic surrogate (default: salina)")
+    parser.add_argument("--input", metavar="FILE.npy",
+                        help="load the data matrix from a .npy file "
+                             "instead of a surrogate")
+    parser.add_argument("--n", type=int, default=1024,
+                        help="surrogate column count (default: 1024)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="random seed (default: 0)")
+    parser.add_argument("--eps", type=float, default=0.1,
+                        help="transformation error tolerance (default: 0.1)")
+
+
+def cmd_info(_args) -> int:
+    """Print platform presets and the dataset registry."""
+    rows = [[c.name, c.nodes, c.cores_per_node, c.size,
+             f"{c.machine.flop_rate / 1e9:.1f} GF/s"]
+            for c in paper_platforms()]
+    print(format_table(["platform", "nodes", "cores/node", "P",
+                        "per-core rate"], rows,
+                       title="Platform presets (paper Sec. VIII)"))
+    print()
+    rows = [[name, f"{e['paper_shape'][0]} x {e['paper_shape'][1]}",
+             e["application"]] for name, e in sorted(DATASETS.items())]
+    print(format_table(["dataset", "paper shape", "application"], rows,
+                       title="Dataset surrogates (paper Table I)"))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Run the Sec. VII tuner and print the candidate table."""
+    a = _load_matrix(args)
+    cluster = platform_by_name(args.platform)
+    model = CostModel(cluster)
+    result = tune_dictionary_size(a, args.eps, model,
+                                  objective=args.objective,
+                                  seed=args.seed)
+    rows = [[l, f"{alpha:.2f}", f"{nnz:.0f}", f"{cost:.4g}",
+             "<-- L*" if l == result.best_size else ""]
+            for l, alpha, nnz, cost in result.table]
+    print(format_table(
+        ["L", "alpha(L)", "predicted nnz(C)",
+         f"{args.objective} cost (flop-equiv)", ""],
+        rows, title=f"Tuning on {cluster.describe()}, eps={args.eps} "
+                    f"(alpha estimated from {result.subset_columns} "
+                    f"columns)"))
+    return 0
+
+
+def cmd_transform(args) -> int:
+    """Build an ExD transform (tuned or fixed-L) and save it."""
+    a = _load_matrix(args)
+    if args.size is not None:
+        transform, stats = exd_transform(a, args.size, args.eps,
+                                         seed=args.seed)
+    else:
+        ext = ExtDict(eps=args.eps,
+                      cluster=platform_by_name(args.platform),
+                      objective=args.objective, seed=args.seed).fit(a)
+        transform, stats = ext.transform_, ext.stats_
+    path = save_transform(transform, args.out)
+    print(f"data {a.shape[0]}x{a.shape[1]} -> D {transform.m}x{transform.l}"
+          f" + C with nnz={transform.nnz} (alpha={transform.alpha:.2f})")
+    print(f"all columns met eps={args.eps}: {stats.all_converged}")
+    print(f"saved transform to {path}")
+    return 0
+
+
+def cmd_pca(args) -> int:
+    """Top-k PCA via the transform; report learning error."""
+    from repro.apps import eigenvalue_error, exact_gram_eigenvalues, run_pca
+    a = _load_matrix(args)
+    cluster = platform_by_name(args.platform) if args.platform else None
+    res = run_pca(a, args.k, method="extdict", eps=args.eps,
+                  cluster=cluster, seed=args.seed)
+    exact = exact_gram_eigenvalues(a, args.k)
+    rows = [[i + 1, f"{exact[i]:.4g}", f"{res.eigenvalues[i]:.4g}"]
+            for i in range(args.k)]
+    print(format_table(["#", "exact", "ExtDict"], rows,
+                       title=f"Top-{args.k} eigenvalues of A'A "
+                             f"(eps={args.eps})"))
+    print(f"normalised cumulative error: "
+          f"{eigenvalue_error(res.eigenvalues, exact):.3e}")
+    if cluster is not None:
+        print(f"simulated runtime on {cluster.name}: "
+              f"{res.simulated_time * 1e3:.3f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ExtDict (IPDPS'17) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list platform presets and datasets")
+
+    p_tune = sub.add_parser("tune", help="platform-aware dictionary tuning")
+    _add_data_arguments(p_tune)
+    p_tune.add_argument("--platform", choices=PAPER_PLATFORM_NAMES,
+                        default="2x8")
+    p_tune.add_argument("--objective",
+                        choices=("time", "energy", "memory"),
+                        default="time")
+
+    p_tr = sub.add_parser("transform", help="build and save an ExD "
+                                            "transform")
+    _add_data_arguments(p_tr)
+    p_tr.add_argument("--size", type=int,
+                      help="fixed dictionary size (skips tuning)")
+    p_tr.add_argument("--platform", choices=PAPER_PLATFORM_NAMES,
+                      default="2x8")
+    p_tr.add_argument("--objective",
+                      choices=("time", "energy", "memory"),
+                      default="time")
+    p_tr.add_argument("--out", default="transform.npz",
+                      help="output path (default: transform.npz)")
+
+    p_pca = sub.add_parser("pca", help="top-k PCA through the transform")
+    _add_data_arguments(p_pca)
+    p_pca.add_argument("--k", type=int, default=5)
+    p_pca.add_argument("--platform", choices=PAPER_PLATFORM_NAMES,
+                       default=None,
+                       help="simulate distributed execution on this "
+                            "platform (default: serial)")
+
+    return parser
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "tune": cmd_tune,
+    "transform": cmd_transform,
+    "pca": cmd_pca,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

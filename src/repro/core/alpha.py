@@ -1,0 +1,149 @@
+"""The density function α(L) = nnz(C)/N and its subset estimator.
+
+Sec. VII's key enabler: for union-of-subspaces data, the *expected*
+per-column density of the ExD code is invariant under random column
+subsampling — ``E[α(L, A_s, ε)] = E[α(L, A, ε)]`` — so the curve can be
+characterised from small nested subsets ``A₁ ⊂ A₂ ⊂ …`` instead of the
+full matrix (Figs. 4 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exd import exd_transform
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator, derive_seed
+from repro.utils.validation import check_fraction, check_matrix, check_positive_int
+
+
+@dataclass
+class AlphaEstimate:
+    """α(L) measurements for one dictionary size.
+
+    ``values`` holds one α per random-dictionary trial; ``errors`` the
+    corresponding measured transformation errors; ``feasible`` whether
+    every trial met the ε criterion on every column.
+    """
+
+    size: int
+    values: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+    feasible: bool = True
+
+    @property
+    def mean(self) -> float:
+        """Mean α over trials (NaN when no trial ran)."""
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    @property
+    def std(self) -> float:
+        """Std-dev of α over trials (the Fig. 4 variance bars)."""
+        return float(np.std(self.values)) if self.values else float("nan")
+
+    @property
+    def mean_error(self) -> float:
+        """Mean measured transformation error over trials."""
+        return float(np.mean(self.errors)) if self.errors else float("nan")
+
+
+def measure_alpha(a, size: int, eps: float, *, trials: int = 1,
+                  seed=None, compute_error: bool = False) -> AlphaEstimate:
+    """Run ExD ``trials`` times with independent dictionaries; report α.
+
+    ``compute_error=False`` skips the dense reconstruction (which costs
+    O(M·N·L)); the per-column OMP residuals already guarantee the bound.
+    """
+    a = check_matrix(a, "A")
+    size = check_positive_int(size, "size")
+    eps = check_fraction(eps, "eps", inclusive_low=True)
+    trials = check_positive_int(trials, "trials")
+    est = AlphaEstimate(size=size)
+    for t in range(trials):
+        transform, stats = exd_transform(
+            a, size, eps, seed=derive_seed(seed, t, size))
+        est.values.append(transform.alpha)
+        if compute_error:
+            est.errors.append(transform.transformation_error(a))
+        if not stats.all_converged:
+            est.feasible = False
+    return est
+
+
+def alpha_curve(a, sizes, eps: float, *, trials: int = 1, seed=None,
+                compute_error: bool = False) -> list[AlphaEstimate]:
+    """α(L) over a sweep of dictionary sizes (Fig. 4 / Fig. 5 series)."""
+    sizes = [check_positive_int(s, "size") for s in sizes]
+    return [measure_alpha(a, s, eps, trials=trials, seed=seed,
+                          compute_error=compute_error)
+            for s in sizes]
+
+
+@dataclass
+class SubsetAlphaEstimate:
+    """Result of the nested-subset estimation of Sec. VII."""
+
+    subset_sizes: list
+    curves: dict          # subset size -> {L: alpha}
+    converged: bool       # discrepancy threshold met before full data
+    final_alpha: dict     # L -> alpha from the largest subset used
+
+    def discrepancy(self, n_small: int, n_big: int) -> float:
+        """Max relative α difference between two subset curves."""
+        small, big = self.curves[n_small], self.curves[n_big]
+        rel = [abs(small[l] - big[l]) / max(big[l], 1e-12) for l in big]
+        return float(max(rel))
+
+
+def estimate_alpha_from_subsets(a, sizes, eps: float, *,
+                                subset_fractions=(0.05, 0.1, 0.2, 0.4),
+                                threshold: float = 0.1, seed=None,
+                                trials: int = 1) -> SubsetAlphaEstimate:
+    """Estimate α(L) from growing random subsets of ``A``.
+
+    Runs ExD on nested subsets ``A₁ ⊂ A₂ ⊂ …`` (fractions of N) and
+    stops as soon as consecutive curves agree within ``threshold``
+    relative discrepancy — the low-overhead tuning protocol of Sec. VII.
+    """
+    a = check_matrix(a, "A")
+    eps = check_fraction(eps, "eps", inclusive_low=True)
+    sizes = [check_positive_int(s, "size") for s in sizes]
+    if not subset_fractions:
+        raise ValidationError("subset_fractions must be non-empty")
+    fracs = sorted(float(f) for f in subset_fractions)
+    if fracs[0] <= 0 or fracs[-1] > 1:
+        raise ValidationError(
+            f"subset fractions must lie in (0, 1], got {subset_fractions}")
+    n = a.shape[1]
+    rng = as_generator(seed)
+    order = rng.permutation(n)  # one permutation → properly nested subsets
+    subset_sizes: list[int] = []
+    curves: dict[int, dict[int, float]] = {}
+    converged = False
+    max_l = max(sizes)
+    prev_n = None
+    for frac in fracs:
+        n_s = max(int(round(frac * n)), max_l + 1)
+        n_s = min(n_s, n)
+        if subset_sizes and n_s <= subset_sizes[-1]:
+            continue
+        sub = a[:, order[:n_s]]
+        curve = {}
+        for l in sizes:
+            est = measure_alpha(sub, l, eps, trials=trials,
+                                seed=derive_seed(seed, n_s, l))
+            curve[l] = est.mean
+        subset_sizes.append(n_s)
+        curves[n_s] = curve
+        if prev_n is not None:
+            rel = max(abs(curves[prev_n][l] - curve[l]) /
+                      max(curve[l], 1e-12) for l in sizes)
+            if rel <= threshold:
+                converged = True
+                break
+        prev_n = n_s
+    final = curves[subset_sizes[-1]]
+    return SubsetAlphaEstimate(subset_sizes=subset_sizes, curves=curves,
+                               converged=converged, final_alpha=dict(final))

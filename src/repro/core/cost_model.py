@@ -1,0 +1,135 @@
+"""The performance model of Sec. VI-B (Eqs. 2–4).
+
+Costs are expressed in FLOP-equivalents: one communicated word counts as
+``R_bf`` operations (time or energy flavour).  The model is deliberately
+simple — it ignores memory hierarchy, load imbalance and latency — and
+Fig. 8 verifies that it still predicts the *trend* of the simulated
+(and, on the authors' cluster, measured) runtime.
+
+Dense-baseline counterparts (``AᵀA x`` with column-partitioned ``A``)
+are provided for the Fig. 7 / Table III comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError, ValidationError
+from repro.platform.calibrate import RbfRatios, calibrate_from_spec
+from repro.platform.cluster import ClusterConfig
+
+
+def _check(m: int, nnz: int, p: int) -> None:
+    if m < 1 or p < 1 or nnz < 0:
+        raise ValidationError(
+            f"invalid cost query: M={m}, nnz={nnz}, P={p}")
+
+
+def runtime_cost(m: int, l: int, nnz: int, p: int, rbf_time: float) -> float:
+    """Eq. 2: ``(M·L + nnz(C))/P + min(M, L)·R_bf^time`` (FLOP-equiv.).
+
+    The communication term vanishes on a single processor — no message
+    passing happens, which is what makes the optimal L platform-
+    dependent (P=1 tolerates large dictionaries, many-node platforms pay
+    ``R_bf`` per word until L reaches M, after which redundancy is free
+    on the wire).
+    """
+    _check(m, nnz, p)
+    if l < 1:
+        raise ValidationError(f"L must be >= 1, got {l}")
+    comm = min(m, l) * rbf_time if p > 1 else 0.0
+    return (m * l + nnz) / p + comm
+
+
+def energy_cost(m: int, l: int, nnz: int, p: int, rbf_energy: float) -> float:
+    """Eq. 3: same form with the energy flavour of R_bf."""
+    return runtime_cost(m, l, nnz, p, rbf_energy)
+
+
+def memory_cost_per_node(m: int, l: int, nnz: int, n: int, p: int) -> float:
+    """Eq. 4: per-node words ``M·L + (nnz(C) + N)/P``."""
+    _check(m, nnz, p)
+    if l < 1 or n < 1:
+        raise ValidationError(f"L and N must be >= 1, got {l}, {n}")
+    return m * l + (nnz + n) / p
+
+
+def dense_runtime_cost(m: int, n: int, p: int, rbf_time: float) -> float:
+    """Eq. 2 for the untransformed baseline ``AᵀA x``.
+
+    With column-partitioned ``A``: ``2·M·N/P`` multiplies and an
+    M-word reduce+broadcast.
+    """
+    _check(m, 0, p)
+    if n < 1:
+        raise ValidationError(f"N must be >= 1, got {n}")
+    return 2 * m * n / p + m * rbf_time
+
+
+def dense_memory_per_node(m: int, n: int, p: int) -> float:
+    """Per-node words to hold the dense column block plus the iterate."""
+    _check(m, 0, p)
+    if n < 1:
+        raise ValidationError(f"N must be >= 1, got {n}")
+    return (m * n + n) / p
+
+
+@dataclass
+class CostModel:
+    """Eqs. 2–4 bound to a concrete platform.
+
+    ``rbf`` defaults to the analytic calibration of the cluster's
+    machine spec; pass a measured :class:`RbfRatios` to use host
+    micro-benchmarks instead.
+    """
+
+    cluster: ClusterConfig
+    rbf: RbfRatios | None = None
+
+    def __post_init__(self) -> None:
+        if self.rbf is None:
+            self.rbf = calibrate_from_spec(self.cluster)
+
+    @property
+    def p(self) -> int:
+        """Processor count of the bound platform."""
+        return self.cluster.size
+
+    def time(self, m: int, l: int, nnz: int) -> float:
+        """Eq. 2 in FLOP-equivalents for one Gram update."""
+        return runtime_cost(m, l, nnz, self.p, self.rbf.time)
+
+    def time_seconds(self, m: int, l: int, nnz: int) -> float:
+        """Eq. 2 converted to predicted seconds per update."""
+        return self.time(m, l, nnz) / self.cluster.machine.flop_rate
+
+    def energy(self, m: int, l: int, nnz: int) -> float:
+        """Eq. 3 in FLOP-equivalents."""
+        return energy_cost(m, l, nnz, self.p, self.rbf.energy)
+
+    def energy_joules(self, m: int, l: int, nnz: int) -> float:
+        """Eq. 3 converted to predicted joules per update."""
+        return self.energy(m, l, nnz) * self.cluster.machine.energy_per_flop
+
+    def memory(self, m: int, l: int, nnz: int, n: int) -> float:
+        """Eq. 4 per-node words."""
+        return memory_cost_per_node(m, l, nnz, n, self.p)
+
+    def dense_time(self, m: int, n: int) -> float:
+        """Baseline Eq. 2 for ``AᵀA x``."""
+        return dense_runtime_cost(m, n, self.p, self.rbf.time)
+
+    def dense_time_seconds(self, m: int, n: int) -> float:
+        """Baseline predicted seconds per update."""
+        return self.dense_time(m, n) / self.cluster.machine.flop_rate
+
+    def objective(self, kind: str, m: int, l: int, nnz: int, n: int) -> float:
+        """Dispatch on the tuning objective ("time"/"energy"/"memory")."""
+        if kind == "time":
+            return self.time(m, l, nnz)
+        if kind == "energy":
+            return self.energy(m, l, nnz)
+        if kind == "memory":
+            return self.memory(m, l, nnz, n)
+        raise PlatformError(
+            f"unknown objective {kind!r}; choose time, energy or memory")

@@ -1,0 +1,95 @@
+"""Dictionary construction by uniform random column subsampling.
+
+Algorithm 1 step 0: processor 0 draws a random size-L index subset of
+``{0..N-1}`` and broadcasts it; every processor then loads
+``D = A[:, I]``.  The theoretical backing (Sec. V-C) is subspace
+sampling: with ``L = Ω(k log k / (1−δ)²)`` random columns the sampled
+span captures the best rank-k approximation up to ``1/δ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_matrix, check_positive_int
+
+
+@dataclass(frozen=True)
+class Dictionary:
+    """A sampled dictionary ``D`` and the provenance of its atoms.
+
+    Attributes
+    ----------
+    atoms:
+        Dense ``(M, L)`` array of dictionary columns.
+    indices:
+        Source-column index in ``A`` of each atom (``-1`` for atoms that
+        did not come from the dataset, e.g. after an evolving-data
+        extension merged two dictionaries).
+    """
+
+    atoms: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        atoms = np.asarray(self.atoms, dtype=np.float64)
+        indices = np.asarray(self.indices, dtype=np.int64)
+        if atoms.ndim != 2:
+            raise ValidationError(f"atoms must be 2-D, got {atoms.ndim}-D")
+        if indices.shape != (atoms.shape[1],):
+            raise ValidationError(
+                f"indices must have length L={atoms.shape[1]}, "
+                f"got {indices.shape}")
+        object.__setattr__(self, "atoms", atoms)
+        object.__setattr__(self, "indices", indices)
+
+    @property
+    def m(self) -> int:
+        """Signal dimension (rows)."""
+        return self.atoms.shape[0]
+
+    @property
+    def size(self) -> int:
+        """Number of atoms L."""
+        return self.atoms.shape[1]
+
+    @property
+    def memory_words(self) -> int:
+        """Dense storage in words: M·L."""
+        return self.m * self.size
+
+    def gram(self) -> np.ndarray:
+        """``DᵀD`` — precomputed once per Batch-OMP run."""
+        return self.atoms.T @ self.atoms
+
+    def concat(self, other: "Dictionary") -> "Dictionary":
+        """Concatenate atom sets (evolving-data dictionary extension)."""
+        if other.m != self.m:
+            raise ValidationError(
+                f"row mismatch: {self.m} vs {other.m}")
+        return Dictionary(np.concatenate([self.atoms, other.atoms], axis=1),
+                          np.concatenate([self.indices, other.indices]))
+
+
+def sample_dictionary(a, size: int, *, seed=None,
+                      replace: bool = False) -> Dictionary:
+    """Draw ``size`` columns of ``a`` uniformly at random as atoms.
+
+    ``replace=False`` (default) matches Algorithm 1; sampling with
+    replacement is allowed only when ``size > N`` would otherwise be
+    infeasible (and is rejected unless explicitly requested).
+    """
+    a = check_matrix(a, "A")
+    size = check_positive_int(size, "size")
+    n = a.shape[1]
+    if size > n and not replace:
+        raise ValidationError(
+            f"cannot sample {size} distinct columns from N={n}; "
+            f"pass replace=True to allow repetition")
+    rng = as_generator(seed)
+    idx = np.sort(rng.choice(n, size=size, replace=replace))
+    return Dictionary(a[:, idx].copy(), idx)

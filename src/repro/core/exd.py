@@ -1,0 +1,181 @@
+"""Algorithm 1 — the ExD projection.
+
+Given a (column-)normalised data matrix ``A``, a tolerance ``ε`` and a
+dictionary size ``L``:
+
+0. rank 0 draws a random index set ``I`` of size ``L`` and broadcasts it;
+1. every rank loads ``D = A[:, I]``;
+2. every rank loads its column block ``A_i``;
+3. every rank sparse-codes its block with (Batch-)OMP.
+
+:func:`exd_transform` is the serial entry point (also used per-rank);
+:func:`exd_transform_distributed` executes the SPMD version on the MPI
+emulator, charging the virtual clocks with the Batch-OMP FLOP model so
+preprocessing overhead (Table II) can be simulated per platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dictionary import Dictionary, sample_dictionary
+from repro.core.transform import TransformedData
+from repro.errors import ValidationError
+from repro.linalg.omp import batch_omp_matrix
+from repro.sparse.csc import CSCMatrix
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_matrix, check_positive_int
+
+
+@dataclass
+class ExDStats:
+    """Bookkeeping from one ExD run."""
+
+    columns: int
+    converged_columns: int
+    omp_iterations: int
+    flops: int
+
+    @property
+    def all_converged(self) -> bool:
+        """Whether every column met the ε criterion (L ≥ L_min)."""
+        return self.converged_columns == self.columns
+
+
+def normalize_columns(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Scale columns to unit ℓ2 norm; zero columns stay zero.
+
+    Returns the normalised matrix and the original norms.
+    """
+    norms = np.linalg.norm(a, axis=0)
+    safe = np.where(norms > 0, norms, 1.0)
+    return a / safe, norms
+
+
+def exd_transform(a, size: int, eps: float, *, seed=None,
+                  normalize: bool = True, max_atoms: int | None = None,
+                  strict: bool = False,
+                  dictionary: Dictionary | None = None) \
+        -> tuple[TransformedData, ExDStats]:
+    """Serial ExD: sample ``D`` and sparse-code every column of ``A``.
+
+    Parameters
+    ----------
+    a:
+        Data matrix ``(M, N)``.
+    size:
+        Dictionary size L (the tunable redundancy knob).
+    eps:
+        Relative transformation error tolerance of Eq. 1.
+    normalize:
+        Column-normalise ``A`` before coding (Algorithm 1's input is the
+        normalised matrix); coefficients are rescaled afterwards so the
+        returned transform approximates the *original* ``A``.
+    dictionary:
+        Reuse a pre-sampled dictionary instead of sampling one (used by
+        the SPMD driver, where rank 0's sample is shared).
+    strict:
+        Propagate :class:`~repro.errors.DictionaryError` when a column
+        cannot meet ``eps`` (the ``L < L_min`` regime); otherwise the
+        result carries ``stats.all_converged == False``.
+    """
+    a = check_matrix(a, "A")
+    eps = check_fraction(eps, "eps", inclusive_low=True)
+    if dictionary is None:
+        size = check_positive_int(size, "size")
+        rng = as_generator(seed)
+    if normalize:
+        a_work, norms = normalize_columns(a)
+    else:
+        a_work, norms = a, None
+    if dictionary is None:
+        dictionary = sample_dictionary(a_work, size, seed=rng)
+    elif dictionary.m != a.shape[0]:
+        raise ValidationError(
+            f"dictionary rows {dictionary.m} != data rows {a.shape[0]}")
+
+    c, omp_stats = batch_omp_matrix(dictionary.atoms, a_work, eps,
+                                    max_atoms=max_atoms, strict=strict)
+    if normalize:
+        c = _rescale_columns(c, norms)
+    stats = ExDStats(columns=omp_stats.columns,
+                     converged_columns=omp_stats.converged_columns,
+                     omp_iterations=omp_stats.total_iterations,
+                     flops=omp_stats.flops)
+    transform = TransformedData(dictionary=dictionary, coefficients=c,
+                                eps=eps, method="exd",
+                                meta={"normalized": normalize})
+    return transform, stats
+
+
+def _rescale_columns(c: CSCMatrix, norms: np.ndarray) -> CSCMatrix:
+    """Multiply column ``j`` of ``c`` by ``norms[j]`` (undo normalisation)."""
+    scale = norms[c.col_indices_expanded()]
+    return CSCMatrix(c.data * scale, c.indices, c.indptr, c.shape,
+                     check=False)
+
+
+def _exd_rank_program(comm, a, size, eps, seed, normalize, max_atoms):
+    """SPMD body of Algorithm 1 (one rank)."""
+    rank, p = comm.Get_rank(), comm.Get_size()
+    m, n = a.shape
+    if normalize:
+        a_work, norms = normalize_columns(a)
+    else:
+        a_work, norms = a, None
+    # Step 0: rank 0 samples the index set and broadcasts it.
+    if rank == 0:
+        rng = as_generator(seed)
+        idx = np.sort(rng.choice(n, size=size, replace=False))
+    else:
+        idx = None
+    idx = comm.bcast(idx, root=0)
+    # Step 1-2: every rank loads D and its column block.
+    dictionary = Dictionary(a_work[:, idx].copy(), idx)
+    lo = rank * n // p
+    hi = (rank + 1) * n // p
+    block = a_work[:, lo:hi]
+    # Step 3: local Batch-OMP; FLOPs billed to this rank's clock.
+    c_local, stats = batch_omp_matrix(dictionary.atoms, block, eps,
+                                      max_atoms=max_atoms)
+    comm.charge_flops(stats.flops)
+    if normalize:
+        c_local = _rescale_columns(c_local, norms[lo:hi])
+    # Assemble the full C on rank 0 (evaluation convenience; the
+    # execution phase keeps C distributed).
+    blocks = comm.gather((c_local, stats), root=0)
+    if rank != 0:
+        return None
+    full = blocks[0][0]
+    for blk, _ in blocks[1:]:
+        full = full.hstack(blk)
+    agg = ExDStats(
+        columns=sum(s.columns for _, s in blocks),
+        converged_columns=sum(s.converged_columns for _, s in blocks),
+        omp_iterations=sum(s.total_iterations for _, s in blocks),
+        flops=sum(s.flops for _, s in blocks),
+    )
+    return TransformedData(dictionary=dictionary, coefficients=full,
+                           eps=eps, method="exd",
+                           meta={"normalized": normalize}), agg
+
+
+def exd_transform_distributed(a, size: int, eps: float, cluster, *,
+                              seed=None, normalize: bool = True,
+                              max_atoms: int | None = None):
+    """Run Algorithm 1 on the emulated cluster.
+
+    Returns ``(transform, stats, spmd_result)`` where ``spmd_result``
+    carries the simulated preprocessing time/energy for the platform.
+    """
+    from repro.mpi.runtime import run_spmd
+
+    a = check_matrix(a, "A")
+    eps = check_fraction(eps, "eps", inclusive_low=True)
+    size = check_positive_int(size, "size")
+    result = run_spmd(0, _exd_rank_program, a, size, eps, seed, normalize,
+                      max_atoms, cluster=cluster)
+    transform, stats = result.returns[0]
+    return transform, stats, result

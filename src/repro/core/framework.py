@@ -1,0 +1,203 @@
+"""The end-to-end ExtDict API (paper Fig. 1).
+
+Usage mirrors the paper's API: the user supplies the dataset ``A``, the
+transformation error ε and the learning algorithm as an iterative update
+on the Gram matrix; the framework measures the platform's ``R_bf``,
+tunes the ExD parameters, transforms the data, and executes the
+algorithm distributed.
+
+>>> from repro.core import ExtDict
+>>> from repro.platform import platform_by_name
+>>> import numpy as np
+>>> rng = np.random.default_rng(0)
+>>> basis = rng.standard_normal((32, 3))
+>>> a = basis @ rng.standard_normal((3, 200))
+>>> ext = ExtDict(eps=0.05, cluster=platform_by_name("1x4"), seed=1)
+>>> ext = ext.fit(a)
+>>> ext.transform_.transformation_error(a) <= 0.05 + 1e-9
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost_model import CostModel
+from repro.core.evolve import extend_transform
+from repro.core.exd import exd_transform, exd_transform_distributed
+from repro.core.gram import TransformedGramOperator, run_distributed_gram
+from repro.core.tuner import tune_dictionary_size
+from repro.errors import ReproError, ValidationError
+from repro.utils.timer import Timer
+from repro.utils.validation import check_fraction, check_in, check_matrix
+
+
+@dataclass
+class PreprocessingReport:
+    """Wall-clock and simulated overheads of fit() (Table II)."""
+
+    tuning_seconds: float = 0.0
+    transform_seconds: float = 0.0
+    simulated_transform_seconds: float = 0.0
+    tuned_size: int = 0
+    tuning_table: list = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Tuning + transformation wall-clock."""
+        return self.tuning_seconds + self.transform_seconds
+
+
+class ExtDict:
+    """Data- and platform-aware transform + execution framework.
+
+    Parameters
+    ----------
+    eps:
+        Transformation error tolerance (Eq. 1).
+    cluster:
+        Target :class:`~repro.platform.cluster.ClusterConfig`.  ``None``
+        runs everything serially (still platform-aware through an
+        explicit ``cost_model`` if given).
+    objective:
+        Tuning objective: "time", "energy" or "memory".
+    size:
+        Fix the dictionary size L instead of tuning it.
+    subset_fraction:
+        Fraction of columns the tuner's α estimation may touch.
+    distributed_preprocess:
+        Run Algorithm 1 itself through the MPI emulator so its simulated
+        cost is recorded (slower on the host; default off).
+    """
+
+    def __init__(self, eps: float = 0.1, *, cluster=None,
+                 objective: str = "time", size: int | None = None,
+                 candidates=None, subset_fraction: float = 0.25,
+                 seed=None, distributed_preprocess: bool = False) -> None:
+        self.eps = check_fraction(eps, "eps", inclusive_low=True)
+        self.cluster = cluster
+        self.objective = check_in(objective, "objective",
+                                  ("time", "energy", "memory"))
+        self.size = size
+        self.candidates = candidates
+        self.subset_fraction = subset_fraction
+        self.seed = seed
+        self.distributed_preprocess = distributed_preprocess
+        self.cost_model = CostModel(cluster) if cluster is not None else None
+        self.transform_ = None
+        self.stats_ = None
+        self.report_ = None
+
+    # ------------------------------------------------------------------
+    def fit(self, a) -> "ExtDict":
+        """Tune L (unless fixed), then transform ``A`` into ``(D, C)``."""
+        a = check_matrix(a, "A")
+        report = PreprocessingReport()
+        size = self.size
+        if size is None:
+            if self.cost_model is None:
+                raise ValidationError(
+                    "automatic tuning needs a cluster (or pass size=...)")
+            t = Timer()
+            with t:
+                tuning = tune_dictionary_size(
+                    a, self.eps, self.cost_model, objective=self.objective,
+                    candidates=self.candidates,
+                    subset_fraction=self.subset_fraction, seed=self.seed)
+            size = tuning.best_size
+            report.tuning_seconds = t.elapsed
+            report.tuning_table = tuning.table
+        report.tuned_size = size
+
+        t = Timer()
+        with t:
+            if self.distributed_preprocess and self.cluster is not None:
+                transform, stats, spmd = exd_transform_distributed(
+                    a, size, self.eps, self.cluster, seed=self.seed)
+                report.simulated_transform_seconds = spmd.simulated_time
+            else:
+                transform, stats = exd_transform(a, size, self.eps,
+                                                 seed=self.seed)
+        report.transform_seconds = t.elapsed
+        self.transform_ = transform
+        self.stats_ = stats
+        self.report_ = report
+        return self
+
+    def _require_fit(self):
+        if self.transform_ is None:
+            raise ReproError("call fit(A) before using the framework")
+        return self.transform_
+
+    # ------------------------------------------------------------------
+    # Gram access
+    # ------------------------------------------------------------------
+    def gram_operator(self) -> TransformedGramOperator:
+        """Serial ``x -> (DC)ᵀDC x`` operator on the fitted transform."""
+        return TransformedGramOperator(self._require_fit())
+
+    def gram_apply_distributed(self, x, *, iterations: int = 1,
+                               normalize: bool = False):
+        """Algorithm 2 on the configured cluster; returns (y, SPMDResult)."""
+        if self.cluster is None:
+            raise ValidationError("no cluster configured")
+        return run_distributed_gram(self._require_fit(), x, self.cluster,
+                                    iterations=iterations,
+                                    normalize=normalize)
+
+    # ------------------------------------------------------------------
+    # learning algorithms on the transformed data
+    # ------------------------------------------------------------------
+    def lasso(self, y, lam: float, **kwargs):
+        """Solve ``min_x ‖Ax − y‖² + λ‖x‖₁`` on the transformed Gram."""
+        from repro.solvers.lasso import lasso_gd
+        transform = self._require_fit()
+        op = TransformedGramOperator(transform)
+        aty = transform.project_adjoint(np.asarray(y, dtype=np.float64))
+        return lasso_gd(op, aty, transform.n, lam, **kwargs)
+
+    def ridge(self, y, lam: float, **kwargs):
+        """Solve ``min_x ‖Ax − y‖² + λ‖x‖₂²`` on the transformed Gram."""
+        from repro.solvers.ridge import ridge_gd
+        transform = self._require_fit()
+        op = TransformedGramOperator(transform)
+        aty = transform.project_adjoint(np.asarray(y, dtype=np.float64))
+        return ridge_gd(op, aty, transform.n, lam, **kwargs)
+
+    def elastic_net(self, y, lam1: float, lam2: float, **kwargs):
+        """Solve the elastic net on the transformed Gram."""
+        from repro.solvers.elastic_net import elastic_net_gd
+        transform = self._require_fit()
+        op = TransformedGramOperator(transform)
+        aty = transform.project_adjoint(np.asarray(y, dtype=np.float64))
+        return elastic_net_gd(op, aty, transform.n, lam1, lam2, **kwargs)
+
+    def power_method(self, k: int = 10, **kwargs):
+        """Top-k eigenvalues of ``AᵀA`` via the transformed Gram."""
+        from repro.linalg.power_iteration import top_eigenpairs
+        transform = self._require_fit()
+        op = TransformedGramOperator(transform)
+        return top_eigenpairs(op, transform.n, k, **kwargs)
+
+    def sparse_pca(self, n_components: int, sparsity: int, **kwargs):
+        """k-sparse principal components via the truncated Power method."""
+        from repro.solvers.sparse_pca import sparse_principal_components
+        transform = self._require_fit()
+        op = TransformedGramOperator(transform)
+        return sparse_principal_components(op, transform.n, n_components,
+                                           sparsity, **kwargs)
+
+    # ------------------------------------------------------------------
+    def update(self, a_new) -> "ExtDict":
+        """Evolving-data update: fold new columns into the transform."""
+        result = extend_transform(self._require_fit(), a_new,
+                                  seed=self.seed)
+        self.transform_ = result.transform
+        return self
+
+    def preprocessing_report(self) -> PreprocessingReport:
+        """Tuning/transformation overheads of the last fit (Table II)."""
+        self._require_fit()
+        return self.report_

@@ -1,0 +1,73 @@
+"""Persistence for transforms.
+
+The ExD projection is a one-time preprocessing investment amortised over
+many learning runs (Sec. IV) — so a production deployment stores it.
+``save_transform``/``load_transform`` round-trip a
+:class:`~repro.core.transform.TransformedData` through a single ``.npz``
+file (dictionary atoms, CSC arrays, ε, provenance).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dictionary import Dictionary
+from repro.core.transform import TransformedData
+from repro.errors import ValidationError
+from repro.sparse.csc import CSCMatrix
+
+_FORMAT_VERSION = 1
+
+
+def save_transform(transform: TransformedData, path) -> Path:
+    """Write a transform to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {k: v for k, v in transform.meta.items()
+            if isinstance(v, (str, int, float, bool, type(None)))}
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "eps": transform.eps,
+        "method": transform.method,
+        "meta": meta,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"),
+                             dtype=np.uint8),
+        atoms=transform.dictionary.atoms,
+        atom_indices=transform.dictionary.indices,
+        c_data=transform.coefficients.data,
+        c_indices=transform.coefficients.indices,
+        c_indptr=transform.coefficients.indptr,
+        c_shape=np.asarray(transform.coefficients.shape, dtype=np.int64),
+    )
+    return path
+
+
+def load_transform(path) -> TransformedData:
+    """Read a transform previously written by :func:`save_transform`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such transform file: {path}")
+    with np.load(path) as blob:
+        try:
+            header = json.loads(bytes(blob["header"]).decode("utf-8"))
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise ValidationError(
+                f"{path} is not a repro transform file") from exc
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported transform format "
+                f"{header.get('format_version')!r} in {path}")
+        dictionary = Dictionary(blob["atoms"], blob["atom_indices"])
+        c = CSCMatrix(blob["c_data"], blob["c_indices"], blob["c_indptr"],
+                      tuple(blob["c_shape"]))
+        return TransformedData(dictionary=dictionary, coefficients=c,
+                               eps=float(header["eps"]),
+                               method=str(header["method"]),
+                               meta=dict(header.get("meta", {})))

@@ -1,0 +1,116 @@
+"""The transformed dataset ``A ≈ D C``.
+
+Holds the dense dictionary and sparse coefficients together with the
+error budget they were built for, and exposes the quantities the
+performance model consumes (``nnz``, ``α``, per-node memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dictionary import Dictionary
+from repro.errors import ValidationError
+from repro.linalg.norms import relative_frobenius_error
+from repro.sparse.csc import CSCMatrix
+
+
+@dataclass
+class TransformedData:
+    """Result of an ExD (or baseline) projection.
+
+    Attributes
+    ----------
+    dictionary:
+        The ``(M, L)`` dictionary.
+    coefficients:
+        Sparse ``(L, N)`` coefficient matrix.
+    eps:
+        Error tolerance the transform was built for.
+    method:
+        Provenance tag ("exd", "rcss", "oasis", "rankmap").
+    """
+
+    dictionary: Dictionary
+    coefficients: CSCMatrix
+    eps: float
+    method: str = "exd"
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.coefficients.shape[0] != self.dictionary.size:
+            raise ValidationError(
+                f"C has {self.coefficients.shape[0]} rows but D has "
+                f"{self.dictionary.size} atoms")
+
+    # shape aliases matching the paper's notation --------------------------
+    @property
+    def m(self) -> int:
+        """Signal dimension M."""
+        return self.dictionary.m
+
+    @property
+    def l(self) -> int:
+        """Dictionary size L."""
+        return self.dictionary.size
+
+    @property
+    def n(self) -> int:
+        """Number of data columns N."""
+        return self.coefficients.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the (approximated) data matrix."""
+        return (self.m, self.n)
+
+    @property
+    def nnz(self) -> int:
+        """nnz(C) — drives arithmetic and memory costs."""
+        return self.coefficients.nnz
+
+    @property
+    def alpha(self) -> float:
+        """Density α = nnz(C)/N (average non-zeros per column, Eq. 5)."""
+        return self.nnz / self.n
+
+    @property
+    def memory_words(self) -> int:
+        """Total words to store D and C (data + index arrays count as
+        words for the index overhead the paper's Table III ignores; we
+        report value words only to stay comparable)."""
+        return self.dictionary.memory_words + self.nnz
+
+    def memory_words_per_node(self, p: int) -> int:
+        """Eq. 4: per-node footprint ``M·L + (nnz(C) + N)/P``."""
+        if p < 1:
+            raise ValidationError(f"P must be >= 1, got {p}")
+        return self.dictionary.memory_words + (self.nnz + self.n + p - 1) // p
+
+    # numerics --------------------------------------------------------------
+    def reconstruct(self) -> np.ndarray:
+        """Materialise ``D @ C`` densely (small problems / tests)."""
+        return self.dictionary.atoms @ self.coefficients.to_dense()
+
+    def reconstruct_columns(self, cols) -> np.ndarray:
+        """Materialise a subset of columns of ``D @ C``."""
+        sub = self.coefficients.select_columns(np.asarray(cols))
+        return self.dictionary.atoms @ sub.to_dense()
+
+    def transformation_error(self, a) -> float:
+        """``‖A − DC‖_F / ‖A‖_F`` against the original data."""
+        return relative_frobenius_error(a, self.reconstruct())
+
+    def project_vector(self, x: np.ndarray) -> np.ndarray:
+        """``(DC) x`` — the approximated data applied to a vector."""
+        return self.dictionary.atoms @ self.coefficients.matvec(x)
+
+    def project_adjoint(self, y: np.ndarray) -> np.ndarray:
+        """``(DC)ᵀ y``."""
+        return self.coefficients.rmatvec(self.dictionary.atoms.T @ y)
+
+    def __repr__(self) -> str:
+        return (f"TransformedData(method={self.method!r}, M={self.m}, "
+                f"L={self.l}, N={self.n}, nnz={self.nnz}, eps={self.eps})")

@@ -1,0 +1,268 @@
+"""Automated ExD customisation (Sec. VII).
+
+Given a platform cost model, a tolerance ε and candidate dictionary
+sizes, the tuner
+
+1. estimates α(L) on a random data subset (cheap, expectation-preserving
+   for union-of-subspaces data);
+2. predicts ``nnz(C) ≈ α(L)·N`` for the full matrix;
+3. evaluates Eq. 2/3/4 for each candidate and returns the arg-min.
+
+``find_min_feasible_size`` locates L_min — the smallest dictionary for
+which OMP can meet ε on every column — which both bounds the search
+space and *is* the (platform-oblivious) choice of the RankMap baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.alpha import measure_alpha
+from repro.core.cost_model import CostModel
+from repro.errors import TuningError
+from repro.utils.rng import as_generator, derive_seed
+from repro.utils.validation import check_fraction, check_matrix, check_positive_int
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuner run.
+
+    Attributes
+    ----------
+    best_size:
+        The cost-minimising dictionary size L*.
+    objective:
+        Which cost was minimised ("time", "energy", "memory").
+    table:
+        Per-candidate rows ``(L, alpha, predicted_nnz, cost)`` —
+        infeasible candidates are excluded.
+    subset_columns:
+        How many data columns the α estimation used.
+    """
+
+    best_size: int
+    objective: str
+    table: list = field(default_factory=list)
+    subset_columns: int = 0
+
+    def cost_of(self, size: int) -> float:
+        """Predicted cost of a candidate size from the tuning table."""
+        for l, _alpha, _nnz, cost in self.table:
+            if l == size:
+                return cost
+        raise KeyError(f"size {size} not in tuning table")
+
+
+def default_candidates(m: int, n: int, l_min: int) -> list[int]:
+    """Geometric candidate grid from L_min up to min(4·M, N)."""
+    upper = min(max(4 * m, 2 * l_min), n)
+    sizes = []
+    l = max(l_min, 1)
+    while l < upper:
+        sizes.append(l)
+        l = max(l + 1, int(round(l * 1.6)))
+    sizes.append(upper)
+    return sorted(set(sizes))
+
+
+def find_min_feasible_size(a, eps: float, *, seed=None,
+                           subset_fraction: float = 0.25,
+                           trials: int = 1,
+                           max_size: int | None = None) -> int:
+    """Smallest L whose random dictionary meets ε on every column.
+
+    Uses doubling + bisection on a random column subset.  Feasibility is
+    monotone in L in expectation (more atoms only help), which the
+    bisection relies on; ``trials > 1`` guards against unlucky draws.
+    """
+    a = check_matrix(a, "A")
+    eps = check_fraction(eps, "eps", inclusive_low=True)
+    n = a.shape[1]
+    limit = min(max_size or n, n)
+    rng = as_generator(seed)
+    n_sub = max(min(n, int(round(subset_fraction * n))), 2)
+    order = rng.permutation(n)
+    sub = a[:, order[:n_sub]]
+
+    def feasible(l: int) -> bool:
+        # Grow the subset when the probe approaches its column count —
+        # a dictionary cannot sample more columns than the subset holds,
+        # and a near-exhaustive sample is not representative anyway.
+        nonlocal sub
+        if 2 * l > sub.shape[1]:
+            bigger = min(max(2 * l, sub.shape[1]), n)
+            sub = a[:, order[:bigger]]
+        if l > sub.shape[1]:
+            return False
+        est = measure_alpha(sub, l, eps, trials=trials,
+                            seed=derive_seed(seed, 1, l))
+        return est.feasible
+
+    lo, hi = 1, None
+    l = max(2, min(8, limit))
+    while l <= limit:
+        if feasible(l):
+            hi = l
+            break
+        lo = l
+        l *= 2
+    if hi is None:
+        if feasible(limit):
+            hi = limit
+        else:
+            raise TuningError(
+                f"no dictionary of size <= {limit} meets eps={eps}; "
+                f"the tolerance may be too tight for this data")
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
+                         objective: str = "time", candidates=None,
+                         subset_fraction: float = 0.25, trials: int = 1,
+                         seed=None) -> TuningResult:
+    """Pick L* minimising the platform cost (Sec. VII protocol).
+
+    Parameters
+    ----------
+    a:
+        Data matrix ``(M, N)``.
+    cost_model:
+        Platform-bound Eqs. 2–4.
+    objective:
+        "time" (Eq. 2), "energy" (Eq. 3) or "memory" (Eq. 4).
+    candidates:
+        Candidate L values; defaults to a geometric grid above L_min.
+    subset_fraction:
+        Fraction of columns used for α estimation.
+
+    Raises
+    ------
+    TuningError
+        When no candidate is feasible at the requested ε.
+    """
+    a = check_matrix(a, "A")
+    eps = check_fraction(eps, "eps", inclusive_low=True)
+    m, n = a.shape
+    rng = as_generator(seed)
+    n_sub = max(min(n, int(round(subset_fraction * n))), 2)
+    order = rng.permutation(n)
+
+    if candidates is None:
+        l_min = find_min_feasible_size(a, eps, seed=derive_seed(seed, 7),
+                                       subset_fraction=subset_fraction,
+                                       trials=trials)
+        candidates = default_candidates(m, n, l_min)
+    candidates = sorted({check_positive_int(c, "candidate")
+                         for c in candidates})
+
+    table = []
+    for l in candidates:
+        # A candidate larger than the subset would sample every subset
+        # column; use a subset at least twice the candidate size.
+        n_eff = min(max(n_sub, 2 * l), n)
+        if l > n_eff:
+            continue
+        sub = a[:, order[:n_eff]]
+        est = measure_alpha(sub, l, eps, trials=trials,
+                            seed=derive_seed(seed, 2, l))
+        if not est.feasible:
+            continue
+        predicted_nnz = est.mean * n
+        cost = cost_model.objective(objective, m, l, predicted_nnz, n)
+        table.append((l, est.mean, predicted_nnz, cost))
+    if not table:
+        raise TuningError(
+            f"no feasible candidate among {candidates} at eps={eps}")
+    best = min(table, key=lambda row: row[3])
+    return TuningResult(best_size=best[0], objective=objective,
+                        table=table,
+                        subset_columns=min(max(n_sub,
+                                               2 * max(c for c, *_ in table)),
+                                           n))
+
+
+def _tuning_program(comm, a, eps, objective, candidates, n_sub, order,
+                    trials, seed, cost_kind_args):
+    """Rank program: candidates partitioned across ranks (Sec. VII on
+    the cluster, embarrassingly parallel), results allgathered."""
+    from repro.core.exd import exd_transform
+
+    rank, p = comm.Get_rank(), comm.Get_size()
+    n = a.shape[1]
+    mine = [c for i, c in enumerate(candidates) if i % p == rank]
+    local_rows = []
+    for l in mine:
+        n_eff = min(max(n_sub, 2 * l), n)
+        if l > n_eff:
+            continue
+        sub = a[:, order[:n_eff]]
+        alphas = []
+        feasible = True
+        for t in range(trials):
+            transform, stats = exd_transform(
+                sub, l, eps, seed=derive_seed(seed, 2, l, t))
+            comm.charge_flops(stats.flops)
+            alphas.append(transform.alpha)
+            feasible = feasible and stats.all_converged
+        if feasible:
+            local_rows.append((l, float(np.mean(alphas))))
+    everyone = comm.allgather(local_rows)
+    rows = sorted(r for part in everyone for r in part)
+    if comm.Get_rank() != 0:
+        return None
+    m = a.shape[0]
+    kind, model = cost_kind_args
+    table = [(l, alpha, alpha * n,
+              model.objective(kind, m, l, alpha * n, n))
+             for l, alpha in rows]
+    return table
+
+
+def tune_dictionary_size_distributed(a, eps: float, cost_model: CostModel,
+                                     *, objective: str = "time",
+                                     candidates=None,
+                                     subset_fraction: float = 0.25,
+                                     trials: int = 1, seed=None):
+    """Sec. VII tuning executed on the emulated target cluster.
+
+    Candidate dictionary sizes are partitioned across the ranks (the
+    α estimations are independent), so Table II's "tuning on 64 cores"
+    can be simulated.  Returns ``(TuningResult, SPMDResult)``.
+    """
+    from repro.mpi.runtime import run_spmd
+
+    a = check_matrix(a, "A")
+    eps = check_fraction(eps, "eps", inclusive_low=True)
+    m, n = a.shape
+    rng = as_generator(seed)
+    n_sub = max(min(n, int(round(subset_fraction * n))), 2)
+    order = rng.permutation(n)
+    if candidates is None:
+        l_min = find_min_feasible_size(a, eps, seed=derive_seed(seed, 7),
+                                       subset_fraction=subset_fraction,
+                                       trials=trials)
+        candidates = default_candidates(m, n, l_min)
+    candidates = sorted({check_positive_int(c, "candidate")
+                         for c in candidates})
+    result = run_spmd(0, _tuning_program, a, eps, objective, candidates,
+                      n_sub, order, trials, seed,
+                      (objective, cost_model),
+                      cluster=cost_model.cluster)
+    table = result.returns[0]
+    if not table:
+        raise TuningError(
+            f"no feasible candidate among {candidates} at eps={eps}")
+    best = min(table, key=lambda row: row[3])
+    tuning = TuningResult(best_size=best[0], objective=objective,
+                          table=table,
+                          subset_columns=min(max(n_sub, 2 * best[0]), n))
+    return tuning, result

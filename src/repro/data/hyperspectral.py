@@ -1,0 +1,64 @@
+"""Salinas-like hyperspectral surrogate.
+
+The Salinas scene is 204 usable AVIRIS bands over ~54k vegetation
+pixels spanning 16 crop classes; each class's spectra are smooth curves
+living near a low-dimensional cone.  The surrogate builds smooth
+spectral endmember bases (Gaussian bumps + low-order trends) per class
+and mixes them non-negatively — dense in the ambient space, union-of-
+low-rank underneath, matching the α(L) behaviour of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.subspaces import SubspaceModel
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator
+
+#: Paper shape (Fig. 5 caption): M = 203 bands, N = 54 129 pixels.
+PAPER_SHAPE = (203, 54_129)
+
+
+def _smooth_basis(m: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Orthonormalised smooth spectral curves (bumps over band index)."""
+    grid = np.linspace(0.0, 1.0, m)
+    curves = np.empty((m, k))
+    for j in range(k):
+        center = rng.uniform(0.1, 0.9)
+        width = rng.uniform(0.05, 0.3)
+        bump = np.exp(-0.5 * ((grid - center) / width) ** 2)
+        trend = rng.uniform(-0.5, 0.5) * grid + rng.uniform(0.2, 1.0)
+        curves[:, j] = bump * trend
+    q, _ = np.linalg.qr(curves)
+    return q[:, :k]
+
+
+def salina_like(*, m: int = 203, n: int = 2048, n_classes: int = 12,
+                dim: int = 3, noise: float = 0.01,
+                seed=None) -> tuple[np.ndarray, SubspaceModel]:
+    """Generate a Salinas-like matrix (bands × pixels).
+
+    Defaults are scaled down from the paper's 203×54 129 for laptop-speed
+    experiments; pass ``n=PAPER_SHAPE[1]`` for the full-size surrogate.
+    """
+    if m < 4 or n < n_classes:
+        raise ValidationError(
+            f"need m >= 4 and n >= n_classes, got m={m}, n={n}, "
+            f"n_classes={n_classes}")
+    rng = as_generator(seed)
+    bases = [_smooth_basis(m, dim, rng) for _ in range(n_classes)]
+    labels = rng.choice(n_classes, size=n)
+    a = np.empty((m, n))
+    for i, basis in enumerate(bases):
+        cols = np.nonzero(labels == i)[0]
+        if cols.size == 0:
+            continue
+        # Non-negative abundances: reflectance-like mixing.
+        coefs = np.abs(rng.standard_normal((dim, cols.size))) + 0.05
+        a[:, cols] = basis @ coefs
+    if noise > 0:
+        scale = np.linalg.norm(a, axis=0, keepdims=True) / np.sqrt(m)
+        a += noise * scale * rng.standard_normal((m, n))
+    model = SubspaceModel(bases=tuple(bases), labels=labels, noise=noise)
+    return a, model

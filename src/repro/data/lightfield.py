@@ -1,0 +1,90 @@
+"""Light-field surrogate.
+
+A light field camera array captures the same scene from a grid of
+viewpoints; an ``8×8`` patch stacked across a ``5×5`` array gives a
+``25·64 = 1600``-dimensional vector whose views are near-copies shifted
+by disparity — the most redundant (lowest effective rank) of the
+paper's datasets.  The super-resolution experiment reconstructs the full
+5×5 stack from a central 3×3 subset (1600 vs 576 rows, Sec. VIII-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.images import image_to_patches, synthetic_image
+from repro.data.subspaces import SubspaceModel, union_of_subspaces
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator, derive_seed
+
+#: Paper shape (Fig. 5 caption): M = 18 496, N = 73 000 (patch stacks).
+PAPER_SHAPE = (18_496, 73_000)
+
+
+def lightfield_patches(*, cams: int = 5, patch: int = 8,
+                       image_size: int = 48, n_images: int = 4,
+                       stride: int = 4, max_disparity: int = 2,
+                       seed=None) -> np.ndarray:
+    """Build a light-field patch dataset from synthetic scenes.
+
+    Each column stacks the same scene patch as seen by every camera of
+    a ``cams×cams`` grid, with integer disparity shifts proportional to
+    the camera's offset from the array centre.  Shape:
+    ``(cams²·patch², n_patches·n_images)``.
+    """
+    if cams < 1 or patch < 2:
+        raise ValidationError(
+            f"need cams >= 1 and patch >= 2, got {cams}, {patch}")
+    if max_disparity < 0:
+        raise ValidationError(
+            f"max_disparity must be >= 0, got {max_disparity}")
+    margin = max_disparity * (cams // 2)
+    blocks = []
+    center = cams // 2
+    for i in range(n_images):
+        scene = synthetic_image(image_size + 2 * margin,
+                                seed=derive_seed(seed, i))
+        views = []
+        for cy in range(cams):
+            for cx in range(cams):
+                dy = (cy - center) * max_disparity
+                dx = (cx - center) * max_disparity
+                window = scene[margin + dy:margin + dy + image_size,
+                               margin + dx:margin + dx + image_size]
+                views.append(image_to_patches(window, patch, stride))
+        blocks.append(np.concatenate(views, axis=0))
+    return np.concatenate(blocks, axis=1)
+
+
+def camera_subset_rows(*, cams_full: int = 5, cams_sub: int = 3,
+                       patch: int = 8) -> np.ndarray:
+    """Row indices of the centred ``cams_sub×cams_sub`` camera block.
+
+    With the paper's numbers (5→3 cameras, 8×8 patches) this selects
+    576 of the 1600 rows.
+    """
+    if cams_sub > cams_full or cams_sub < 1:
+        raise ValidationError(
+            f"cams_sub must be in [1, {cams_full}], got {cams_sub}")
+    offset = (cams_full - cams_sub) // 2
+    ppatch = patch * patch
+    rows = []
+    for cy in range(offset, offset + cams_sub):
+        for cx in range(offset, offset + cams_sub):
+            cam = cy * cams_full + cx
+            rows.extend(range(cam * ppatch, (cam + 1) * ppatch))
+    return np.asarray(rows, dtype=np.int64)
+
+
+def lightfield_like(*, m: int = 400, n: int = 2048, n_subspaces: int = 3,
+                    dim: int = 2, noise: float = 0.005,
+                    seed=None) -> tuple[np.ndarray, SubspaceModel]:
+    """Generic light-field-statistics matrix for the α(L) sweeps.
+
+    Very few, very low-dimensional subspaces with tiny noise — the
+    "highly redundant" end of the spectrum, where the optimally tuned
+    dictionary collapses to near L_min (the Fig. 7 RankMap-tie case).
+    """
+    rng = as_generator(seed)
+    return union_of_subspaces(m, n, n_subspaces=n_subspaces, dim=dim,
+                              noise=noise, seed=rng)

@@ -1,0 +1,131 @@
+"""Union-of-subspaces data generator — the paper's signal model.
+
+``a₁..a_N ∈ ⋃ᵢ Uᵢ`` with each ``Uᵢ`` a ``Kᵢ``-dimensional subspace of
+``R^M`` (Sec. V-B).  Columns in ``Uᵢ`` admit ``Kᵢ``-sparse codes over
+any dictionary containing ≥ Kᵢ independent columns from ``Uᵢ``, which
+is what makes α(L) decrease with dictionary redundancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class SubspaceModel:
+    """Ground-truth geometry of a generated dataset.
+
+    Attributes
+    ----------
+    bases:
+        One ``(M, Kᵢ)`` orthonormal basis per subspace.
+    labels:
+        Subspace membership of each column.
+    noise:
+        Relative noise level used.
+    """
+
+    bases: tuple
+    labels: np.ndarray
+    noise: float
+
+    @property
+    def n_subspaces(self) -> int:
+        """Number of subspaces."""
+        return len(self.bases)
+
+    @property
+    def dims(self) -> tuple:
+        """Per-subspace intrinsic dimensions Kᵢ."""
+        return tuple(b.shape[1] for b in self.bases)
+
+    def density_upper_bound(self, n: int) -> float:
+        """``Σ Kᵢ·nᵢ / N`` — the α upper bound of Sec. VII."""
+        counts = np.bincount(self.labels, minlength=self.n_subspaces)
+        return float(sum(k * c for k, c in zip(self.dims, counts))) / n
+
+
+def union_of_subspaces(m: int, n: int, *, n_subspaces: int = 4,
+                       dim: int | tuple = 3, noise: float = 0.0,
+                       weights=None, heavy_tail: bool = False,
+                       nonnegative: bool = False,
+                       seed=None) -> tuple[np.ndarray, SubspaceModel]:
+    """Sample N columns from a union of random subspaces of ``R^M``.
+
+    Parameters
+    ----------
+    dim:
+        Intrinsic dimension Kᵢ — a scalar, or one value per subspace.
+    noise:
+        Per-column relative Gaussian noise (``‖noise‖ ≈ noise·‖col‖``);
+        breaks exact low-rankness the way real data does.
+    weights:
+        Relative subspace population sizes (defaults to uniform).
+    heavy_tail:
+        Draw combination coefficients from a Student-t (df=3) instead of
+        a normal — produces the "denser geometry" of the cancer-cell
+        surrogate.
+    nonnegative:
+        Clamp entries at zero after mixing (reflectance-like data).
+
+    Returns
+    -------
+    (A, model) with ``A`` of shape ``(m, n)``.
+    """
+    if m < 1 or n < 1:
+        raise ValidationError(f"m and n must be >= 1, got {m}, {n}")
+    if n_subspaces < 1:
+        raise ValidationError(
+            f"n_subspaces must be >= 1, got {n_subspaces}")
+    if np.isscalar(dim):
+        dims = [int(dim)] * n_subspaces
+    else:
+        dims = [int(d) for d in dim]
+        if len(dims) != n_subspaces:
+            raise ValidationError(
+                f"need {n_subspaces} dims, got {len(dims)}")
+    if any(d < 1 or d > m for d in dims):
+        raise ValidationError(f"dims must lie in [1, {m}], got {dims}")
+    if noise < 0:
+        raise ValidationError(f"noise must be >= 0, got {noise}")
+    rng = as_generator(seed)
+
+    bases = []
+    for d in dims:
+        raw = rng.standard_normal((m, d))
+        q, _ = np.linalg.qr(raw)
+        bases.append(q[:, :d])
+
+    if weights is None:
+        probs = np.full(n_subspaces, 1.0 / n_subspaces)
+    else:
+        probs = np.asarray(weights, dtype=np.float64)
+        if probs.shape != (n_subspaces,) or np.any(probs < 0):
+            raise ValidationError("weights must be non-negative, one per "
+                                  "subspace")
+        probs = probs / probs.sum()
+    labels = rng.choice(n_subspaces, size=n, p=probs)
+
+    a = np.empty((m, n))
+    for i, basis in enumerate(bases):
+        cols = np.nonzero(labels == i)[0]
+        if cols.size == 0:
+            continue
+        k = basis.shape[1]
+        if heavy_tail:
+            coefs = rng.standard_t(3, size=(k, cols.size))
+        else:
+            coefs = rng.standard_normal((k, cols.size))
+        a[:, cols] = basis @ coefs
+    if nonnegative:
+        np.abs(a, out=a)
+    if noise > 0:
+        scale = np.linalg.norm(a, axis=0, keepdims=True) / np.sqrt(m)
+        a = a + noise * scale * rng.standard_normal((m, n))
+    model = SubspaceModel(bases=tuple(bases), labels=labels, noise=noise)
+    return a, model

@@ -1,0 +1,27 @@
+"""Numerical building blocks: OMP sparse coding, incremental Cholesky,
+pseudo-inverse and power iteration.
+
+The OMP routines are the computational core of ExD (Alg. 1 step 3); the
+Batch-OMP variant with progressive Cholesky updates is the one the paper
+uses ("we use Batch-OMP based on Cholesky factorization updates [32]").
+"""
+
+from repro.linalg.cholesky import IncrementalCholesky
+from repro.linalg.omp import OMPResult, omp_solve, batch_omp_solve, batch_omp_matrix
+from repro.linalg.pseudo_inverse import pseudo_inverse, least_squares_coefficients
+from repro.linalg.power_iteration import power_iteration, top_eigenpairs
+from repro.linalg.norms import frobenius_norm, relative_frobenius_error
+
+__all__ = [
+    "IncrementalCholesky",
+    "OMPResult",
+    "omp_solve",
+    "batch_omp_solve",
+    "batch_omp_matrix",
+    "pseudo_inverse",
+    "least_squares_coefficients",
+    "power_iteration",
+    "top_eigenpairs",
+    "frobenius_norm",
+    "relative_frobenius_error",
+]

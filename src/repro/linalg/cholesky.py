@@ -1,0 +1,88 @@
+"""Incremental (progressive) Cholesky factorisation.
+
+Batch-OMP grows the Gram submatrix ``G[I, I]`` by one row/column per
+selected atom.  Refactorising from scratch each iteration costs
+``O(k³)`` per step; the progressive update below costs ``O(k²)`` —
+append ``w = L⁻¹ g`` and the new diagonal ``sqrt(g_kk − wᵀw)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.errors import ValidationError
+
+
+class IncrementalCholesky:
+    """Lower-triangular factor of a growing SPD matrix.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> g = np.array([[4.0, 2.0], [2.0, 3.0]])
+    >>> chol = IncrementalCholesky(capacity=2)
+    >>> chol.append(g[0, :0], g[0, 0])
+    True
+    >>> chol.append(g[1, :1], g[1, 1])
+    True
+    >>> np.allclose(chol.factor @ chol.factor.T, g)
+    True
+    """
+
+    def __init__(self, capacity: int = 16, *, pivot_tol: float = 1e-12) -> None:
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        self._l = np.zeros((capacity, capacity))
+        self.size = 0
+        self.pivot_tol = float(pivot_tol)
+
+    @property
+    def factor(self) -> np.ndarray:
+        """The current k×k lower-triangular factor (a view)."""
+        return self._l[:self.size, :self.size]
+
+    def _grow(self) -> None:
+        if self.size == self._l.shape[0]:
+            bigger = np.zeros((2 * self._l.shape[0],) * 2)
+            bigger[:self.size, :self.size] = self.factor
+            self._l = bigger
+
+    def append(self, cross: np.ndarray, diag: float) -> bool:
+        """Extend the factorised matrix by one row ``[cross, diag]``.
+
+        Returns False (and leaves the factor unchanged) when the new row
+        is numerically dependent on the existing ones — the caller should
+        then reject the corresponding atom.
+        """
+        cross = np.asarray(cross, dtype=np.float64)
+        if cross.shape != (self.size,):
+            raise ValidationError(
+                f"cross must have shape ({self.size},), got {cross.shape}")
+        self._grow()
+        k = self.size
+        if k == 0:
+            if diag <= self.pivot_tol:
+                return False
+            self._l[0, 0] = np.sqrt(diag)
+            self.size = 1
+            return True
+        w = solve_triangular(self.factor, cross, lower=True,
+                             check_finite=False)
+        pivot_sq = float(diag) - float(w @ w)
+        if pivot_sq <= self.pivot_tol:
+            return False
+        self._l[k, :k] = w
+        self._l[k, k] = np.sqrt(pivot_sq)
+        self.size = k + 1
+        return True
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``(L Lᵀ) x = b`` for the factorised matrix."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.size,):
+            raise ValidationError(
+                f"b must have shape ({self.size},), got {b.shape}")
+        y = solve_triangular(self.factor, b, lower=True, check_finite=False)
+        return solve_triangular(self.factor.T, y, lower=False,
+                                check_finite=False)

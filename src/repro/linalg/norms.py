@@ -1,0 +1,31 @@
+"""Norm helpers used by the transformation-error criterion of Eq. 1."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def frobenius_norm(a) -> float:
+    """``‖A‖_F`` of a dense array."""
+    a = np.asarray(a, dtype=np.float64)
+    return float(np.linalg.norm(a.reshape(-1)))
+
+
+def relative_frobenius_error(a, approx) -> float:
+    """``‖A − Â‖_F / ‖A‖_F`` — the paper's transformation error.
+
+    ``approx`` may be dense or anything with ``to_dense()``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if hasattr(approx, "to_dense"):
+        approx = approx.to_dense()
+    approx = np.asarray(approx, dtype=np.float64)
+    if approx.shape != a.shape:
+        raise ValidationError(
+            f"shape mismatch: {a.shape} vs {approx.shape}")
+    denom = frobenius_norm(a)
+    if denom == 0.0:
+        return 0.0 if frobenius_norm(approx) == 0.0 else np.inf
+    return frobenius_norm(a - approx) / denom

@@ -1,0 +1,36 @@
+"""Thread-backed MPI emulator with an mpi4py-style API.
+
+The paper's reference implementation is C++/MPI; this package provides a
+faithful message-passing runtime that executes the same SPMD algorithms
+on one host:
+
+* each rank runs the user's rank program in its own thread;
+* lowercase methods (``send``/``recv``/``bcast``/...) communicate pickled
+  Python objects, uppercase methods (``Send``/``Recv``/``Bcast``/...)
+  communicate numpy buffers — mirroring mpi4py's convention;
+* every transfer is tallied in words (float64 units) by a traffic
+  ledger, and, when a :class:`~repro.platform.cluster.ClusterConfig` is
+  supplied, advances per-rank virtual clocks through the α-β cost model
+  so that runtime/energy of 64-rank platforms can be simulated
+  deterministically on a single core.
+
+Entry point: :func:`repro.mpi.runtime.run_spmd`.
+"""
+
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, words_of
+from repro.mpi.counters import TrafficLedger
+from repro.mpi.request import Request
+from repro.mpi.communicator import Communicator, REDUCE_OPS
+from repro.mpi.runtime import run_spmd, SPMDResult
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "words_of",
+    "TrafficLedger",
+    "Request",
+    "Communicator",
+    "REDUCE_OPS",
+    "run_spmd",
+    "SPMDResult",
+]

@@ -1,0 +1,68 @@
+"""Traffic accounting for the emulator.
+
+Two word measures are kept per operation class, because the paper uses
+both:
+
+``payload_words``
+    Size of one logical message (e.g. reducing an M-vector records M).
+    The "number of words communicated simultaneously" of Sec. VI-B is a
+    sum of payload words over the collectives on the critical path.
+``wire_words``
+    Total words that traversed links (a reduce over P ranks moves
+    ``(P-1) * payload`` words).  Governs energy.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpTally:
+    """Aggregated counts for one operation kind."""
+
+    calls: int = 0
+    payload_words: int = 0
+    wire_words: int = 0
+
+
+@dataclass
+class TrafficLedger:
+    """Thread-safe per-operation traffic tallies for one SPMD run."""
+
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    ops: dict = field(default_factory=dict)
+
+    def record(self, op: str, payload_words: int, wire_words: int) -> None:
+        """Tally one completed operation of kind ``op``."""
+        if payload_words < 0 or wire_words < 0:
+            raise ValueError("word counts must be >= 0")
+        with self._lock:
+            tally = self.ops.setdefault(op, OpTally())
+            tally.calls += 1
+            tally.payload_words += int(payload_words)
+            tally.wire_words += int(wire_words)
+
+    def total_payload_words(self, *ops: str) -> int:
+        """Sum of payload words over the named ops (all ops when empty)."""
+        with self._lock:
+            keys = ops or tuple(self.ops)
+            return sum(self.ops[k].payload_words for k in keys if k in self.ops)
+
+    def total_wire_words(self, *ops: str) -> int:
+        """Sum of wire words over the named ops (all ops when empty)."""
+        with self._lock:
+            keys = ops or tuple(self.ops)
+            return sum(self.ops[k].wire_words for k in keys if k in self.ops)
+
+    def calls(self, op: str) -> int:
+        """Number of completed operations of kind ``op``."""
+        with self._lock:
+            return self.ops[op].calls if op in self.ops else 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy for reports."""
+        with self._lock:
+            return {op: OpTally(t.calls, t.payload_words, t.wire_words)
+                    for op, t in self.ops.items()}

@@ -1,0 +1,43 @@
+"""Non-blocking communication requests (``isend``/``irecv``)."""
+
+from __future__ import annotations
+
+
+class Request:
+    """Handle for an outstanding non-blocking operation.
+
+    ``wait()`` blocks until completion and returns the received object
+    for receive requests (``None`` for sends), mirroring mpi4py.
+    ``test()`` polls: returns ``(done, value_or_None)``.
+    """
+
+    def __init__(self, *, kind: str, complete_fn, poll_fn) -> None:
+        if kind not in ("send", "recv"):
+            raise ValueError(f"kind must be 'send' or 'recv', got {kind!r}")
+        self.kind = kind
+        self._complete_fn = complete_fn
+        self._poll_fn = poll_fn
+        self._done = False
+        self._value = None
+
+    def wait(self):
+        """Block until the operation completes; return recv payload."""
+        if not self._done:
+            self._value = self._complete_fn()
+            self._done = True
+        return self._value
+
+    def test(self):
+        """Poll for completion without blocking."""
+        if self._done:
+            return True, self._value
+        ready, value = self._poll_fn()
+        if ready:
+            self._done = True
+            self._value = value
+        return self._done, self._value
+
+    @property
+    def completed(self) -> bool:
+        """Whether the request has already completed via wait/test."""
+        return self._done

@@ -1,0 +1,154 @@
+"""SPMD launcher: run a rank program on every rank of an emulated world.
+
+Equivalent of ``mpiexec -n P python script.py`` for this library:
+
+>>> from repro.mpi import run_spmd
+>>> def program(comm):
+...     return comm.allreduce(comm.Get_rank())
+>>> run_spmd(4, program).returns
+[6, 6, 6, 6]
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError, MPIEmulatorError, RankFailedError
+from repro.mpi.communicator import Communicator
+from repro.mpi.counters import TrafficLedger
+from repro.mpi.world import World
+
+
+@dataclass
+class SPMDResult:
+    """Outcome of one SPMD run.
+
+    Attributes
+    ----------
+    returns:
+        Per-rank return values of the rank program.
+    traffic:
+        The world's traffic ledger.
+    clocks:
+        Per-rank virtual clock snapshots (dicts).
+    simulated_time:
+        Simulated makespan: max over ranks of final clock time (seconds).
+        Zero when no cluster was supplied.
+    simulated_energy:
+        Total simulated energy over all ranks (joules).
+    total_flops:
+        Sum of FLOPs charged across ranks.
+    wall_time:
+        Host wall-clock seconds the emulation took.
+    trace:
+        Event list (op, ranks, start, end, words in simulated time)
+        when the run was launched with ``trace=True``; ``None``
+        otherwise.  Render with
+        :func:`repro.utils.timeline.render_timeline`.
+    """
+
+    returns: list
+    traffic: TrafficLedger
+    clocks: list = field(default_factory=list)
+    simulated_time: float = 0.0
+    simulated_energy: float = 0.0
+    total_flops: int = 0
+    wall_time: float = 0.0
+    trace: list | None = None
+
+
+def run_spmd(size: int, fn, *args, cluster=None, timeout: float = 120.0,
+             collective_algorithm: str = "flat", trace: bool = False,
+             **kwargs) -> SPMDResult:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``size`` emulated ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.  When ``cluster`` is given, pass ``size=0`` (or
+        the matching value) to take the cluster's processor count.
+    fn:
+        The rank program.  Receives a :class:`Communicator` first.
+    cluster:
+        Optional :class:`~repro.platform.cluster.ClusterConfig`; enables
+        virtual-clock performance simulation.
+    timeout:
+        Host-seconds a blocked rank may wait before the run is declared
+        deadlocked.
+    collective_algorithm:
+        ``"flat"`` (paper's model, default) or ``"tree"``.
+
+    Raises
+    ------
+    RankFailedError
+        If any rank program raised; carries per-rank exceptions.
+    DeadlockError
+        If every live rank blocked with no deliverable message.
+    """
+    if cluster is not None:
+        if size in (0, None):
+            size = cluster.size
+        elif size != cluster.size:
+            raise MPIEmulatorError(
+                f"size {size} does not match cluster P={cluster.size}")
+    if not isinstance(size, int) or size < 1:
+        raise MPIEmulatorError(f"size must be a positive int, got {size!r}")
+
+    world = World(size, cluster=cluster, timeout=timeout,
+                  collective_algorithm=collective_algorithm, trace=trace)
+    returns: list = [None] * size
+    deadlock: list = []
+
+    def runner(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            returns[rank] = fn(comm, *args, **kwargs)
+        except DeadlockError as exc:
+            deadlock.append(exc)
+        except MPIEmulatorError as exc:
+            # The world-abort exception itself (identity check) is a
+            # propagated/origin protocol failure surfaced after the
+            # join; any other emulator error is this rank's own bug.
+            if exc is not world.abort_exc:
+                world.rank_failed(rank, exc)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            world.rank_failed(rank, exc)
+        finally:
+            world.rank_finished()
+
+    t0 = time.perf_counter()
+    if size == 1:
+        # Fast path: no threads needed for a single rank.
+        runner(0)
+    else:
+        threads = [threading.Thread(target=runner, args=(r,),
+                                    name=f"repro-mpi-rank-{r}", daemon=True)
+                   for r in range(size)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    wall = time.perf_counter() - t0
+
+    if world.failures:
+        raise RankFailedError(world.failures)
+    if deadlock:
+        raise deadlock[0]
+    if world.abort_exc is not None:
+        # Abort without a recorded rank exception: a protocol violation
+        # (e.g. mismatched collectives) detected inside the emulator.
+        raise world.abort_exc
+
+    return SPMDResult(
+        returns=returns,
+        traffic=world.traffic,
+        clocks=[c.snapshot() for c in world.clocks],
+        simulated_time=max(c.time for c in world.clocks),
+        simulated_energy=sum(c.energy for c in world.clocks),
+        total_flops=sum(c.flops for c in world.clocks),
+        wall_time=wall,
+        trace=(sorted(world.trace, key=lambda e: (e["start"], e["end"]))
+               if world.trace is not None else None),
+    )

@@ -1,0 +1,201 @@
+"""Shared state of one SPMD run: mailboxes, collective slots, clocks.
+
+A single condition variable guards all shared state.  Coarse locking is
+deliberate: the CPython GIL serialises bookkeeping anyway, rank programs
+spend their time in BLAS (which releases the GIL), and one lock makes
+the deadlock detector trivial to reason about.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import DeadlockError, MPIEmulatorError
+from repro.mpi.counters import TrafficLedger
+from repro.platform.clock import VirtualClock
+
+
+class Message:
+    """One in-flight point-to-point message."""
+
+    __slots__ = ("payload", "words", "arrival_time", "is_buffer")
+
+    def __init__(self, payload, words: int, arrival_time: float,
+                 is_buffer: bool) -> None:
+        self.payload = payload
+        self.words = words
+        self.arrival_time = arrival_time
+        self.is_buffer = is_buffer
+
+
+class CollectiveSlot:
+    """Rendezvous for the N-th collective call of every rank.
+
+    SPMD programs must issue collectives in the same order on every
+    rank; the slot validates that the op name and root agree and holds
+    each rank's contribution until all have arrived.
+    """
+
+    __slots__ = ("op", "root", "contributions", "arrived", "result",
+                 "completed", "departed")
+
+    def __init__(self, op: str, root: int) -> None:
+        self.op = op
+        self.root = root
+        self.contributions: dict[int, object] = {}
+        self.arrived = 0
+        self.result = None
+        self.completed = False
+        self.departed = 0
+
+
+class World:
+    """All shared state of one emulated MPI world."""
+
+    def __init__(self, size: int, *, cluster=None, timeout: float = 120.0,
+                 collective_algorithm: str = "flat",
+                 trace: bool = False) -> None:
+        if size < 1:
+            raise MPIEmulatorError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.cluster = cluster
+        self.timeout = timeout
+        self.collective_algorithm = collective_algorithm
+        #: optional event trace: dicts with op/ranks/start/end (sim time)
+        self.trace: list | None = [] if trace else None
+        self.cond = threading.Condition()
+        # key: (src_world_rank, dst_world_rank, comm_id, tag)
+        self.mailboxes: dict[tuple[int, int, int, int], deque] = {}
+        # key: (comm_id, sequence)
+        self.collectives: dict[tuple[int, int], CollectiveSlot] = {}
+        self.next_comm_id = 1  # 0 is the world communicator
+        self.clocks = [VirtualClock() for _ in range(size)]
+        self.traffic = TrafficLedger()
+        self.alive = size
+        self.blocked = 0
+        self.progress = 0
+        self.abort_exc: BaseException | None = None
+        self.failures: dict[int, BaseException] = {}
+
+    # ------------------------------------------------------------------
+    # abort / deadlock machinery (call with self.cond held)
+    # ------------------------------------------------------------------
+    def _abort(self, exc: BaseException) -> None:
+        if self.abort_exc is None:
+            self.abort_exc = exc
+        self.cond.notify_all()
+
+    def rank_failed(self, rank: int, exc: BaseException) -> None:
+        """Record a rank program exception and wake everyone up."""
+        with self.cond:
+            self.failures[rank] = exc
+            self._abort(MPIEmulatorError(
+                f"world aborted: rank {rank} raised {exc!r}"))
+
+    def rank_finished(self) -> None:
+        """A rank program returned normally."""
+        with self.cond:
+            self.alive -= 1
+            self.progress += 1
+            self.cond.notify_all()
+
+    def check_abort(self) -> None:
+        """Raise if the world has been aborted (call with lock held)."""
+        if self.abort_exc is not None:
+            raise self.abort_exc
+
+    def blocking_wait(self, predicate, *, rank: int, what: str):
+        """Wait (holding the condition) until ``predicate()`` is truthy.
+
+        Detects two failure modes while waiting:
+        * every live rank blocked and no progress for a stagnation window
+          → deadlock (progress-based, because a rank waking from a just-
+          completed collective is still counted as blocked until the OS
+          schedules it);
+        * the world was aborted by another rank's exception.
+        Returns ``predicate()``'s truthy value.
+        """
+        import time
+        deadline = time.monotonic() + self.timeout
+        stagnant_since: float | None = None
+        progress_mark = self.progress
+        self.blocked += 1
+        try:
+            while True:
+                self.check_abort()
+                value = predicate()
+                if value:
+                    self.progress += 1
+                    return value
+                now = time.monotonic()
+                if self.progress != progress_mark:
+                    progress_mark = self.progress
+                    stagnant_since = None
+                elif self.blocked >= self.alive:
+                    if stagnant_since is None:
+                        stagnant_since = now
+                    elif now - stagnant_since > 1.0:
+                        exc = DeadlockError(
+                            f"all {self.alive} live rank(s) blocked with no "
+                            f"progress; rank {rank} waiting on {what}")
+                        self._abort(exc)
+                        raise exc
+                if now > deadline:
+                    exc = DeadlockError(
+                        f"rank {rank} timed out after {self.timeout}s "
+                        f"waiting on {what}")
+                    self._abort(exc)
+                    raise exc
+                self.cond.wait(timeout=0.05)
+        finally:
+            self.blocked -= 1
+
+    # ------------------------------------------------------------------
+    # mailboxes (call with self.cond held)
+    # ------------------------------------------------------------------
+    def post_message(self, src: int, dst: int, comm_id: int, tag: int,
+                     msg: Message) -> None:
+        """Deposit a message; wakes any waiting receiver."""
+        self.mailboxes.setdefault((src, dst, comm_id, tag),
+                                  deque()).append(msg)
+        self.progress += 1
+        self.cond.notify_all()
+
+    def find_message(self, dst: int, source: int, comm_id: int, tag: int):
+        """Locate (without removing) the first matching mailbox entry.
+
+        ``source``/``tag`` may be wildcards (< 0); messages only ever
+        match within their own communicator.  Wildcards are resolved
+        deterministically: lowest source first, then lowest tag, then
+        FIFO within the queue.
+        """
+        candidates = []
+        for (s, d, cid, t), queue in self.mailboxes.items():
+            if d != dst or cid != comm_id or not queue:
+                continue
+            if source >= 0 and s != source:
+                continue
+            if tag >= 0 and t != tag:
+                continue
+            candidates.append((s, t))
+        if not candidates:
+            return None
+        s, t = min(candidates)
+        return (s, dst, comm_id, t)
+
+    def pop_message(self, key) -> Message:
+        """Remove and return the head message of a mailbox key."""
+        queue = self.mailboxes[key]
+        msg = queue.popleft()
+        if not queue:
+            del self.mailboxes[key]
+        return msg
+
+    def record_event(self, op: str, ranks, start: float, end: float,
+                     words: int = 0) -> None:
+        """Append a trace event (no-op unless tracing; lock held)."""
+        if self.trace is not None:
+            self.trace.append({"op": op, "ranks": tuple(ranks),
+                               "start": start, "end": end,
+                               "words": int(words)})

@@ -1,0 +1,96 @@
+"""Calibration of the word-per-FLOP ratios ``R_bf``.
+
+The paper "experimentally measures the platform-specific relative cost
+of arithmetic vs. communication (R_bf^time)" (Sec. VIII).  Here the
+ratio can be obtained two ways:
+
+* :func:`calibrate_from_spec` — analytically from a
+  :class:`~repro.platform.cluster.ClusterConfig` (used by the simulator,
+  exactly consistent with its clock advance rules);
+* :func:`calibrate_measured` — a genuine micro-benchmark on the host
+  (BLAS dot-product rate vs. memory-copy rate), mirroring what the
+  authors did on the iDataPlex.  Useful when running the library on real
+  shared-memory hardware.
+
+``R_bf`` converts a word of communication into its FLOP-equivalent cost,
+so Eq. 2's objective ``(M·L + nnz(C))/P + min(M, L)·R_bf`` is expressed
+in a single unit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlatformError
+from repro.platform.cluster import ClusterConfig
+from repro.platform.machine import BYTES_PER_WORD
+
+
+@dataclass(frozen=True)
+class RbfRatios:
+    """FLOP-equivalents of one communicated word, for time and energy."""
+
+    time: float
+    energy: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.energy < 0:
+            raise PlatformError(
+                f"R_bf ratios must be >= 0, got {self.time}, {self.energy}")
+
+
+def calibrate_from_spec(cluster: ClusterConfig) -> RbfRatios:
+    """Derive ``R_bf`` from the cluster's machine spec.
+
+    Uses the bottleneck link of the configuration: inter-node when the
+    cluster spans several nodes, intra-node otherwise — because
+    Algorithm 2's reduce/broadcast traverses the slowest link on its
+    critical path.  Heterogeneous clusters calibrate against their
+    slowest machine for the same reason.
+    """
+    m = cluster.slowest_machine()
+    inter = cluster.worst_link_inter()
+    word_seconds = m.word_time(inter_node=inter)
+    rbf_time = word_seconds * m.flop_rate  # flops executable per word-time
+    word_joules = m.word_energy(inter_node=inter)
+    if m.energy_per_flop > 0:
+        rbf_energy = word_joules / m.energy_per_flop
+    else:
+        rbf_energy = 0.0
+    return RbfRatios(time=rbf_time, energy=rbf_energy)
+
+
+def calibrate_measured(*, size: int = 1 << 20, repeats: int = 3,
+                       seed: int = 0) -> RbfRatios:
+    """Micro-benchmark the host: dot-product FLOP rate vs copy bandwidth.
+
+    Returns the host's own ``R_bf^time`` (energy is not measurable without
+    counters, so the time ratio is reused — on modern hardware the two
+    track each other closely, which is also the paper's assumption when
+    it says runtime analysis "directly translates" to energy).
+    """
+    if size < 1024:
+        raise PlatformError(f"size too small to time reliably: {size}")
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(size)
+    b = rng.standard_normal(size)
+    out = np.empty_like(a)
+
+    def best_time(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return max(best, 1e-9)
+
+    dot_seconds = best_time(lambda: float(a @ b))
+    copy_seconds = best_time(lambda: np.copyto(out, a))
+
+    flop_rate = (2 * size) / dot_seconds            # mult+add per element
+    copy_bw_words = (size * BYTES_PER_WORD) / copy_seconds / BYTES_PER_WORD
+    rbf = flop_rate / copy_bw_words
+    return RbfRatios(time=rbf, energy=rbf)

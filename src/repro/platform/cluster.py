@@ -1,0 +1,96 @@
+"""Cluster topology: ``nodes × cores_per_node`` over one machine spec.
+
+Ranks are laid out node-major (rank ``r`` lives on node ``r // cores``),
+matching how ``mpiexec`` fills nodes and how the paper's 2×8 / 8×8
+configurations are described.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlatformError
+from repro.platform.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A cluster of ``nodes`` nodes × ``cores_per_node`` cores.
+
+    Homogeneous by default (every node runs ``machine``); pass
+    ``node_machines`` — one :class:`MachineSpec` per node — for the
+    heterogeneous platforms the paper targets alongside distributed
+    ones.  Per-rank compute rates come from the rank's own node; link
+    parameters between two ranks are bottlenecked by the slower
+    endpoint.
+    """
+
+    machine: MachineSpec
+    nodes: int
+    cores_per_node: int
+    name: str = field(default="")
+    node_machines: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.cores_per_node < 1:
+            raise PlatformError(
+                f"nodes and cores_per_node must be >= 1, got "
+                f"{self.nodes}x{self.cores_per_node}")
+        if self.node_machines:
+            machines = tuple(self.node_machines)
+            if len(machines) != self.nodes:
+                raise PlatformError(
+                    f"node_machines must have one entry per node "
+                    f"({self.nodes}), got {len(machines)}")
+            if not all(isinstance(m, MachineSpec) for m in machines):
+                raise PlatformError(
+                    "node_machines entries must be MachineSpec instances")
+            object.__setattr__(self, "node_machines", machines)
+        if not self.name:
+            suffix = "-het" if self.node_machines else ""
+            object.__setattr__(
+                self, "name",
+                f"{self.nodes}x{self.cores_per_node}{suffix}")
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether per-node machine specs were supplied."""
+        return bool(self.node_machines)
+
+    def machine_of(self, rank: int) -> MachineSpec:
+        """The machine spec of the node hosting ``rank``."""
+        node = self.node_of(rank)
+        if self.node_machines:
+            return self.node_machines[node]
+        return self.machine
+
+    def slowest_machine(self) -> MachineSpec:
+        """The lowest-FLOP-rate machine in the cluster (for calibration)."""
+        if not self.node_machines:
+            return self.machine
+        return min(self.node_machines, key=lambda m: m.flop_rate)
+
+    @property
+    def size(self) -> int:
+        """Total processor (rank) count P."""
+        return self.nodes * self.cores_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        if not 0 <= rank < self.size:
+            raise PlatformError(f"rank {rank} out of range [0, {self.size})")
+        return rank // self.cores_per_node
+
+    def is_inter_node(self, rank_a: int, rank_b: int) -> bool:
+        """Whether a message between the two ranks crosses the interconnect."""
+        return self.node_of(rank_a) != self.node_of(rank_b)
+
+    def worst_link_inter(self) -> bool:
+        """Whether the bottleneck link for whole-world collectives is
+        inter-node (True whenever more than one node participates)."""
+        return self.nodes > 1
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.name}: {self.nodes} node(s) x {self.cores_per_node} "
+                f"core(s) of {self.machine.name} (P={self.size})")

@@ -1,0 +1,87 @@
+"""Machine description for the performance simulator.
+
+All communication volumes are measured in *words* (one float64 = 8
+bytes), matching the paper's counting.  Rates are per core; bandwidths
+are per link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+
+BYTES_PER_WORD = 8
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Compute, communication and energy parameters of one machine type.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    flop_rate:
+        Sustained floating-point operations per second per core.
+    intra_bw / inter_bw:
+        Link bandwidth in words/second inside a node (shared memory) and
+        between nodes (interconnect).
+    intra_latency / inter_latency:
+        Per-message latency in seconds (the α of the α-β model).
+    energy_per_flop:
+        Joules per floating-point operation.
+    energy_per_word_intra / energy_per_word_inter:
+        Joules per word moved over the respective link.
+    """
+
+    name: str
+    flop_rate: float
+    intra_bw: float
+    inter_bw: float
+    intra_latency: float
+    inter_latency: float
+    energy_per_flop: float
+    energy_per_word_intra: float
+    energy_per_word_inter: float
+
+    def __post_init__(self) -> None:
+        positive = {
+            "flop_rate": self.flop_rate,
+            "intra_bw": self.intra_bw,
+            "inter_bw": self.inter_bw,
+        }
+        for key, value in positive.items():
+            if not value > 0:
+                raise PlatformError(f"{key} must be positive, got {value}")
+        non_negative = {
+            "intra_latency": self.intra_latency,
+            "inter_latency": self.inter_latency,
+            "energy_per_flop": self.energy_per_flop,
+            "energy_per_word_intra": self.energy_per_word_intra,
+            "energy_per_word_inter": self.energy_per_word_inter,
+        }
+        for key, value in non_negative.items():
+            if value < 0:
+                raise PlatformError(f"{key} must be >= 0, got {value}")
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` operations on one core."""
+        return flops / self.flop_rate
+
+    def compute_energy(self, flops: float) -> float:
+        """Joules to execute ``flops`` operations."""
+        return flops * self.energy_per_flop
+
+    def word_time(self, *, inter_node: bool) -> float:
+        """Seconds per word on the selected link (the β of α-β)."""
+        return 1.0 / (self.inter_bw if inter_node else self.intra_bw)
+
+    def latency(self, *, inter_node: bool) -> float:
+        """Per-message latency on the selected link."""
+        return self.inter_latency if inter_node else self.intra_latency
+
+    def word_energy(self, *, inter_node: bool) -> float:
+        """Joules per word on the selected link."""
+        return (self.energy_per_word_inter if inter_node
+                else self.energy_per_word_intra)

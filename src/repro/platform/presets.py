@@ -1,0 +1,57 @@
+"""Platform presets matching the paper's evaluation setups.
+
+The paper emulates four node×core shapes on an IBM iDataPlex with
+Intel Xeon X5660 @ 2.8 GHz nodes: 1×1, 1×4, 2×8 and 8×8 (Sec. VIII).
+The spec below uses public figures for that generation of hardware:
+
+* ~11 GFLOP/s sustained per core (2.8 GHz × 4 DP FLOPs/cycle);
+* shared-memory transfers at ~4 GB/s per core pair, ~1 µs latency;
+* QDR InfiniBand between nodes at ~3 GB/s, ~2 µs latency;
+* energy: ~0.1 nJ/FLOP core power, DRAM/network word energies from the
+  "communication costs more than computation" literature the paper cites.
+
+Absolute values only set the overall scale; every reproduced result is a
+*ratio* (improvement factors, crossovers), which depends on the relative
+magnitudes — compute cheap, communication expensive — that these numbers
+preserve.
+"""
+
+from __future__ import annotations
+
+from repro.platform.cluster import ClusterConfig
+from repro.platform.machine import BYTES_PER_WORD, MachineSpec
+
+PAPER_PLATFORM_NAMES = ("1x1", "1x4", "2x8", "8x8")
+
+
+def xeon_x5660_like() -> MachineSpec:
+    """Machine spec approximating one Xeon X5660 core and its links."""
+    return MachineSpec(
+        name="xeon-x5660-like",
+        flop_rate=11.2e9,
+        intra_bw=4.0e9 / BYTES_PER_WORD,     # 4 GB/s -> words/s
+        inter_bw=3.0e9 / BYTES_PER_WORD,     # QDR IB -> words/s
+        intra_latency=1.0e-6,
+        inter_latency=2.0e-6,
+        energy_per_flop=0.1e-9,
+        energy_per_word_intra=2.0e-9,
+        energy_per_word_inter=8.0e-9,
+    )
+
+
+def paper_platforms(machine: MachineSpec | None = None) -> list[ClusterConfig]:
+    """The four node×core configurations of the paper's evaluation."""
+    m = machine or xeon_x5660_like()
+    shapes = [(1, 1), (1, 4), (2, 8), (8, 8)]
+    return [ClusterConfig(machine=m, nodes=n, cores_per_node=c)
+            for n, c in shapes]
+
+
+def platform_by_name(name: str,
+                     machine: MachineSpec | None = None) -> ClusterConfig:
+    """Look up one of the paper's platforms by its ``NxC`` name."""
+    for cluster in paper_platforms(machine):
+        if cluster.name == name:
+            return cluster
+    raise KeyError(
+        f"unknown platform {name!r}; choose from {PAPER_PLATFORM_NAMES}")

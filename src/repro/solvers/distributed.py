@@ -1,0 +1,117 @@
+"""Distributed proximal-Adagrad regression on a local Gram worker.
+
+One generic rank program serves LASSO, ridge and elastic net: the
+smooth gradient is ``2(Gx − Aᵀy) + 2λ₂x`` and the ℓ1 part enters
+through the proximal soft-threshold with weight λ₁.  The per-iteration
+schedule matches Algorithm 2 plus two scalars in one allreduce for the
+stopping rule: Adagrad and the prox are coordinate-wise, so optimiser
+state stays fully local to each rank's column block — no extra vector
+traffic beyond the Gram update's ``min(M, L)`` words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.solvers.adagrad import AdagradState
+from repro.solvers.lasso import LassoResult, soft_threshold
+from repro.utils.validation import check_positive_int
+
+
+def regression_program(comm, worker_factory, y: np.ndarray, lam1: float,
+                       lam2: float, *, lr: float = 0.1,
+                       max_iter: int = 500, tol: float = 1e-6):
+    """Rank program: distributed proximal gradient descent.
+
+    ``y`` (length M) is broadcast once, each rank forms its block of
+    ``Aᵀy`` locally, then iterates Gram updates.  ``lam1`` weights the
+    ℓ1 prox, ``lam2`` the ℓ2 gradient term.
+    """
+    worker = worker_factory(comm)
+    rank = comm.Get_rank()
+    y = comm.bcast(np.asarray(y, dtype=np.float64) if rank == 0 else None,
+                   root=0)
+    aty_i = worker.adjoint_data_apply(y)
+    n_i = worker.local_n
+    x_i = np.zeros(n_i)
+    adagrad = AdagradState(max(n_i, 1), lr=lr)
+    history: list[float] = []
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        gx_i = worker.apply(x_i)
+        grad_i = 2.0 * (gx_i - aty_i)
+        if lam2:
+            grad_i += 2.0 * lam2 * x_i
+        comm.charge_flops(2 * n_i)
+        if n_i:
+            step = adagrad.step(grad_i)
+            if lam1:
+                rates = adagrad.effective_rates()
+                x_new = soft_threshold(x_i - step, lam1 * rates)
+            else:
+                x_new = x_i - step
+            comm.charge_flops(6 * n_i)
+        else:
+            x_new = x_i
+        # Global relative change: two scalars in one allreduce.
+        local = np.array([float(np.sum((x_new - x_i) ** 2)),
+                          float(np.sum(x_new ** 2))])
+        comm.charge_flops(4 * n_i)
+        totals = comm.allreduce(local, op="sum")
+        change = float(np.sqrt(totals[0])) / max(float(np.sqrt(totals[1])), 1.0)
+        history.append(change)
+        x_i = x_new
+        if change <= tol:
+            converged = True
+            break
+    blocks = comm.gather(x_i, root=0)
+    if rank == 0:
+        return np.concatenate(blocks), it, converged, history
+    return None
+
+
+def _run(cluster, worker_factory, y, lam1: float, lam2: float, *,
+         lr: float, max_iter: int, tol: float) -> tuple[LassoResult, object]:
+    from repro.mpi.runtime import run_spmd
+
+    check_positive_int(max_iter, "max_iter")
+    if lam1 < 0 or lam2 < 0:
+        raise ValidationError(
+            f"penalties must be >= 0, got lam1={lam1}, lam2={lam2}")
+    result = run_spmd(0, regression_program, worker_factory,
+                      np.asarray(y, dtype=np.float64), lam1, lam2, lr=lr,
+                      max_iter=max_iter, tol=tol, cluster=cluster)
+    x, iterations, converged, history = result.returns[0]
+    return (LassoResult(x=x, iterations=iterations, converged=converged,
+                        history=history), result)
+
+
+def distributed_lasso(cluster, worker_factory, y: np.ndarray, lam: float, *,
+                      lr: float = 0.1, max_iter: int = 500,
+                      tol: float = 1e-6) -> tuple[LassoResult, object]:
+    """Distributed LASSO: ``min ‖Ax−y‖² + λ‖x‖₁`` on the emulated cluster.
+
+    Returns ``(LassoResult, SPMDResult)`` — the latter carries simulated
+    time/energy for the Fig. 9 comparison.
+    """
+    return _run(cluster, worker_factory, y, lam, 0.0, lr=lr,
+                max_iter=max_iter, tol=tol)
+
+
+def distributed_ridge(cluster, worker_factory, y: np.ndarray, lam: float, *,
+                      lr: float = 0.1, max_iter: int = 500,
+                      tol: float = 1e-6) -> tuple[LassoResult, object]:
+    """Distributed ridge: ``min ‖Ax−y‖² + λ‖x‖₂²``."""
+    return _run(cluster, worker_factory, y, 0.0, lam, lr=lr,
+                max_iter=max_iter, tol=tol)
+
+
+def distributed_elastic_net(cluster, worker_factory, y: np.ndarray,
+                            lam1: float, lam2: float, *, lr: float = 0.1,
+                            max_iter: int = 500,
+                            tol: float = 1e-6) -> tuple[LassoResult, object]:
+    """Distributed elastic net: ``min ‖Ax−y‖² + λ₁‖x‖₁ + λ₂‖x‖₂²``."""
+    return _run(cluster, worker_factory, y, lam1, lam2, lr=lr,
+                max_iter=max_iter, tol=tol)

@@ -1,0 +1,74 @@
+"""FISTA — accelerated proximal gradient for the LASSO objective.
+
+[Beck & Teboulle 2009].  Same Gram-operator interface as
+:func:`repro.solvers.lasso.lasso_gd` but with Nesterov momentum and a
+fixed step ``1/(2·Lip)`` where ``Lip`` is (an upper bound on) the largest
+eigenvalue of ``G`` — estimated with a few power iterations on the same
+operator, so the whole solver still only ever touches the data through
+Gram updates.  Converges in ``O(1/k²)`` versus plain descent's
+``O(1/k)``; an optional extension beyond the paper's Adagrad scheme.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.linalg.power_iteration import power_iteration
+from repro.solvers.lasso import LassoResult, soft_threshold
+from repro.utils.validation import check_positive_int
+
+
+def estimate_lipschitz(gram_op: Callable[[np.ndarray], np.ndarray],
+                       n: int, *, iters: int = 30, seed=0) -> float:
+    """Upper-bound ``2·λ_max(G)`` — the gradient Lipschitz constant."""
+    lam, _, _ = power_iteration(gram_op, n, tol=1e-4, max_iter=iters,
+                                seed=seed)
+    # 10% headroom: power iteration approaches λ_max from below.
+    return 2.0 * 1.1 * max(lam, 1e-30)
+
+
+def fista(gram_op: Callable[[np.ndarray], np.ndarray], aty: np.ndarray,
+          n: int, lam: float, *, max_iter: int = 500, tol: float = 1e-6,
+          x0: np.ndarray | None = None,
+          lipschitz: float | None = None, seed=0) -> LassoResult:
+    """Solve ``min_x ‖Ax − y‖² + λ‖x‖₁`` with FISTA.
+
+    Parameters match :func:`repro.solvers.lasso.lasso_gd`; ``lipschitz``
+    may be supplied to skip the power-iteration estimate.
+    """
+    n = check_positive_int(n, "n")
+    aty = np.asarray(aty, dtype=np.float64)
+    if aty.shape != (n,):
+        raise ValidationError(f"aty must have shape ({n},), got {aty.shape}")
+    if lam < 0:
+        raise ValidationError(f"lam must be >= 0, got {lam}")
+    lip = lipschitz if lipschitz is not None \
+        else estimate_lipschitz(gram_op, n, seed=seed)
+    if lip <= 0:
+        raise ValidationError(f"lipschitz must be positive, got {lip}")
+    step = 1.0 / lip
+
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    z = x.copy()
+    t = 1.0
+    result = LassoResult(x=x, iterations=0, converged=False)
+    for it in range(1, max_iter + 1):
+        grad = 2.0 * (gram_op(z) - aty)
+        x_new = soft_threshold(z - step * grad, lam * step)
+        t_new = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
+        z = x_new + ((t - 1.0) / t_new) * (x_new - x)
+        change = float(np.linalg.norm(x_new - x)) / \
+            max(float(np.linalg.norm(x_new)), 1.0)
+        result.history.append(change)
+        x, t = x_new, t_new
+        if change <= tol:
+            result.x = x
+            result.iterations = it
+            result.converged = True
+            return result
+    result.x = x
+    result.iterations = max_iter
+    return result

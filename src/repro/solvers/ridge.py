@@ -1,0 +1,47 @@
+"""Ridge regression by Adagrad gradient descent on a Gram operator.
+
+Objective: ``min_x ‖Ax − y‖₂² + λ‖x‖₂²``; gradient
+``2(Gx − Aᵀy) + 2λx``.  One of the paper's motivating iterative-update
+algorithms (Sec. II-A).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.solvers.adagrad import AdagradState
+from repro.solvers.lasso import LassoResult
+from repro.utils.validation import check_positive_int
+
+
+def ridge_gd(gram_op: Callable[[np.ndarray], np.ndarray], aty: np.ndarray,
+             n: int, lam: float, *, lr: float = 0.1, max_iter: int = 500,
+             tol: float = 1e-6, x0: np.ndarray | None = None) -> LassoResult:
+    """Solve ridge regression; returns the same result record as LASSO."""
+    n = check_positive_int(n, "n")
+    aty = np.asarray(aty, dtype=np.float64)
+    if aty.shape != (n,):
+        raise ValidationError(f"aty must have shape ({n},), got {aty.shape}")
+    if lam < 0:
+        raise ValidationError(f"lam must be >= 0, got {lam}")
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    adagrad = AdagradState(n, lr=lr)
+    result = LassoResult(x=x, iterations=0, converged=False)
+    for it in range(1, max_iter + 1):
+        grad = 2.0 * (gram_op(x) - aty) + 2.0 * lam * x
+        x_new = x - adagrad.step(grad)
+        change = float(np.linalg.norm(x_new - x)) / \
+            max(float(np.linalg.norm(x_new)), 1.0)
+        result.history.append(change)
+        x = x_new
+        if change <= tol:
+            result.x = x
+            result.iterations = it
+            result.converged = True
+            return result
+    result.x = x
+    result.iterations = max_iter
+    return result

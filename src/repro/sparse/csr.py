@@ -1,0 +1,129 @@
+"""Compressed-sparse-row matrix.
+
+Used where row access dominates: SGD samples row batches of the data
+matrix, and ``Cᵀ`` products in Algorithm 2 step 7 are row-major over the
+local column block.  Shares numerical kernels with the CSC class via the
+transpose identity (CSR arrays of ``X`` are CSC arrays of ``Xᵀ``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class CSRMatrix:
+    """Immutable CSR matrix of float64 values."""
+
+    __slots__ = ("data", "indices", "indptr", "shape", "_rowind_cache")
+
+    def __init__(self, data, indices, indptr, shape, *, check: bool = True):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._rowind_cache = None
+        if check:
+            self._validate()
+
+    @classmethod
+    def from_dense(cls, dense, *, tol: float = 0.0) -> "CSRMatrix":
+        """Build from a dense array, dropping entries with ``|v| <= tol``."""
+        arr = np.asarray(dense, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValidationError(f"dense input must be 2-D, got {arr.ndim}-D")
+        nrows, ncols = arr.shape
+        rows, cols = np.nonzero(np.abs(arr) > tol)
+        data = arr[rows, cols]
+        counts = np.bincount(rows, minlength=nrows)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        return cls(data, cols, indptr, (nrows, ncols), check=False)
+
+    def _validate(self) -> None:
+        nrows, ncols = self.shape
+        if self.indptr.shape != (nrows + 1,):
+            raise ValidationError(
+                f"indptr must have length nrows+1={nrows + 1}, "
+                f"got {self.indptr.shape}")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.data.size:
+            raise ValidationError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValidationError("indptr must be non-decreasing")
+        if self.indices.shape != self.data.shape:
+            raise ValidationError("indices and data must have equal length")
+        if self.data.size and (self.indices.min() < 0
+                               or self.indices.max() >= ncols):
+            raise ValidationError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Number of explicitly stored entries."""
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint in bytes."""
+        return int(self.data.nbytes + self.indices.nbytes + self.indptr.nbytes)
+
+    def row_indices_expanded(self) -> np.ndarray:
+        """Row index of every stored entry (cached)."""
+        if self._rowind_cache is None or \
+                self._rowind_cache.size != self.data.size:
+            self._rowind_cache = np.repeat(
+                np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr))
+        return self._rowind_cache
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense ndarray."""
+        out = np.zeros(self.shape)
+        out[self.row_indices_expanded(), self.indices] = self.data
+        return out
+
+    def transpose_csc(self):
+        """Transpose reinterpreted as CSC (zero-copy)."""
+        from repro.sparse.csc import CSCMatrix
+        return CSCMatrix(self.data, self.indices, self.indptr,
+                         (self.shape[1], self.shape[0]), check=False)
+
+    def row(self, i: int) -> np.ndarray:
+        """Dense copy of row ``i``."""
+        nrows, ncols = self.shape
+        if not 0 <= i < nrows:
+            raise ValidationError(f"row {i} out of range [0, {nrows})")
+        out = np.zeros(ncols)
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        out[self.indices[lo:hi]] = self.data[lo:hi]
+        return out
+
+    def slice_rows(self, start: int, stop: int) -> "CSRMatrix":
+        """Contiguous row slice ``[start, stop)``."""
+        nrows, ncols = self.shape
+        if not (0 <= start <= stop <= nrows):
+            raise ValidationError(
+                f"invalid row slice [{start}, {stop}) for nrows={nrows}")
+        lo, hi = self.indptr[start], self.indptr[stop]
+        return CSRMatrix(self.data[lo:hi], self.indices[lo:hi],
+                         self.indptr[start:stop + 1] - lo,
+                         (stop - start, ncols), check=False)
+
+    def matvec(self, x) -> np.ndarray:
+        """``self @ x`` via the transposed CSC kernel."""
+        return self.transpose_csc().rmatvec(x)
+
+    def rmatvec(self, y) -> np.ndarray:
+        """``selfᵀ @ y`` via the transposed CSC kernel."""
+        return self.transpose_csc().matvec(y)
+
+    def __matmul__(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            return self.matvec(x)
+        if x.ndim == 2:
+            return np.stack([self.matvec(x[:, k]) for k in range(x.shape[1])],
+                            axis=1)
+        raise ValidationError("operand must be 1-D or 2-D")
+
+    def __repr__(self) -> str:
+        nrows, ncols = self.shape
+        return f"CSRMatrix(shape=({nrows}, {ncols}), nnz={self.nnz})"

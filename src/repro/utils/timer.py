@@ -1,0 +1,45 @@
+"""Wall-clock timing helper used by preprocessing-overhead benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch accumulating elapsed seconds.
+
+    A single instance can be re-entered; ``elapsed`` accumulates across
+    entries, which is how the Table II benchmark sums tuning + transform
+    phases.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None, "Timer exited without entering"
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._start = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently inside a ``with`` block."""
+        return self._start is not None

@@ -1,0 +1,78 @@
+"""Argument validation helpers.
+
+These raise :class:`repro.errors.ValidationError` with actionable messages;
+they are used at the public API boundary only — inner kernels trust their
+callers to keep the hot path free of per-call overhead (see the
+"optimizing code" guide: validate once, compute many times).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def check_matrix(a, name: str = "A", *, dtype=np.float64,
+                 allow_empty: bool = False) -> np.ndarray:
+    """Validate and return ``a`` as a 2-D float ndarray (C-contiguous)."""
+    arr = np.asarray(a, dtype=dtype)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    if not allow_empty and (arr.shape[0] == 0 or arr.shape[1] == 0):
+        raise ValidationError(f"{name} must be non-empty, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite entries")
+    return np.ascontiguousarray(arr)
+
+
+def check_vector(x, name: str = "x", *, size: int | None = None,
+                 dtype=np.float64) -> np.ndarray:
+    """Validate and return ``x`` as a 1-D float ndarray."""
+    arr = np.asarray(x, dtype=dtype)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got ndim={arr.ndim}")
+    if size is not None and arr.size != size:
+        raise ValidationError(f"{name} must have length {size}, got {arr.size}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite entries")
+    return np.ascontiguousarray(arr)
+
+
+def check_positive_int(value, name: str, *, minimum: int = 1) -> int:
+    """Validate an integer argument ``value >= minimum``."""
+    try:
+        ivalue = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be an integer, got {value!r}") from exc
+    if isinstance(value, float) and not float(value).is_integer():
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    if ivalue < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {ivalue}")
+    return ivalue
+
+
+def check_fraction(value, name: str, *, inclusive_low: bool = False,
+                   inclusive_high: bool = True) -> float:
+    """Validate a float in (0, 1] (bounds configurable); used for ε."""
+    try:
+        fvalue = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a float, got {value!r}") from exc
+    low_ok = fvalue >= 0.0 if inclusive_low else fvalue > 0.0
+    high_ok = fvalue <= 1.0 if inclusive_high else fvalue < 1.0
+    if not (low_ok and high_ok and np.isfinite(fvalue)):
+        lo = "[0" if inclusive_low else "(0"
+        hi = "1]" if inclusive_high else "1)"
+        raise ValidationError(f"{name} must be in {lo}, {hi}, got {value!r}")
+    return fvalue
+
+
+def check_in(value, name: str, choices: Sequence):
+    """Validate membership of a categorical argument."""
+    if value not in choices:
+        raise ValidationError(
+            f"{name} must be one of {list(choices)!r}, got {value!r}")
+    return value

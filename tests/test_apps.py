@@ -1,0 +1,148 @@
+"""Application-level tests: denoising, super-resolution, PCA."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    eigenvalue_error,
+    exact_gram_eigenvalues,
+    make_denoising_setup,
+    make_super_resolution_setup,
+    run_denoising,
+    run_pca,
+    run_super_resolution,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def denoise_setup():
+    return make_denoising_setup(image_size=16, n_atoms=160, n_bases=8,
+                                snr_db=20.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sr_setup():
+    return make_super_resolution_setup(cams=3, cams_sub=2, patch=4,
+                                       image_size=20, n_images=2,
+                                       stride=4, seed=0)
+
+
+class TestDenoising:
+    def test_denoising_improves_psnr(self, denoise_setup):
+        from repro.data import psnr
+        noisy_psnr = psnr(denoise_setup.y_clean, denoise_setup.y_noisy)
+        res = run_denoising(denoise_setup, method="extdict", eps=0.01,
+                            max_iter=250, seed=0)
+        assert res.psnr_db > noisy_psnr + 2.0
+
+    @pytest.mark.parametrize("method", ["extdict", "dense", "sgd"])
+    def test_all_methods_run_serial(self, denoise_setup, method):
+        res = run_denoising(denoise_setup, method=method, max_iter=60,
+                            seed=0)
+        assert res.method == method
+        assert res.reconstruction.shape == denoise_setup.y_clean.shape
+        assert np.isfinite(res.psnr_db)
+
+    @pytest.mark.parametrize("method", ["extdict", "dense", "sgd"])
+    def test_all_methods_run_distributed(self, denoise_setup, method,
+                                         small_cluster):
+        res = run_denoising(denoise_setup, method=method, max_iter=40,
+                            cluster=small_cluster, seed=0)
+        assert res.simulated_time > 0
+
+    def test_extdict_preprocessing_reported(self, denoise_setup):
+        res = run_denoising(denoise_setup, method="extdict", max_iter=20,
+                            seed=0)
+        assert "dictionary_size" in res.preprocessing
+        assert res.preprocessing["alpha"] > 0
+
+    def test_unknown_method(self, denoise_setup):
+        with pytest.raises(ValidationError):
+            run_denoising(denoise_setup, method="magic")
+
+    def test_serial_and_distributed_agree(self, denoise_setup,
+                                          small_cluster):
+        serial = run_denoising(denoise_setup, method="dense", max_iter=50,
+                               tol=0.0, seed=0)
+        dist = run_denoising(denoise_setup, method="dense", max_iter=50,
+                             tol=0.0, cluster=small_cluster, seed=0)
+        assert np.allclose(serial.x, dist.x, atol=1e-8)
+
+
+class TestSuperResolution:
+    def test_reconstructs_unseen_views(self, sr_setup):
+        res = run_super_resolution(sr_setup, method="extdict", eps=0.01,
+                                   max_iter=300, seed=0)
+        # The reconstruction is scored on ALL rows, including the
+        # cameras never observed.
+        assert res.reconstruction_error < 0.25
+        assert res.psnr_db > 15.0
+
+    def test_row_restriction(self, sr_setup):
+        assert sr_setup.a_low.shape[0] < sr_setup.a_full.shape[0]
+        assert sr_setup.y_low.size == sr_setup.rows.size
+
+    @pytest.mark.parametrize("method", ["extdict", "dense", "sgd"])
+    def test_all_methods_run(self, sr_setup, method):
+        res = run_super_resolution(sr_setup, method=method, max_iter=40,
+                                   seed=0)
+        assert res.reconstruction.shape == sr_setup.y_full.shape
+
+    def test_distributed_runs(self, sr_setup, small_cluster):
+        res = run_super_resolution(sr_setup, method="extdict",
+                                   max_iter=30, cluster=small_cluster,
+                                   seed=0)
+        assert res.simulated_time > 0
+
+
+class TestPCA:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        from repro.data import load_dataset
+        return load_dataset("salina", n=192, seed=7).matrix
+
+    def test_exact_eigenvalues(self, matrix):
+        vals = exact_gram_eigenvalues(matrix, 5)
+        assert vals.shape == (5,)
+        assert np.all(np.diff(vals) <= 0)
+
+    def test_exact_k_validation(self, matrix):
+        with pytest.raises(ValidationError):
+            exact_gram_eigenvalues(matrix, 10_000)
+
+    def test_eigenvalue_error_zero_for_exact(self, matrix):
+        vals = exact_gram_eigenvalues(matrix, 4)
+        assert eigenvalue_error(vals, vals) == 0.0
+
+    def test_eigenvalue_error_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            eigenvalue_error(np.ones(3), np.ones(4))
+
+    def test_dense_pca_matches_exact(self, matrix):
+        res = run_pca(matrix, 4, method="dense", seed=0, tol=1e-10,
+                      max_iter=500)
+        exact = exact_gram_eigenvalues(matrix, 4)
+        assert eigenvalue_error(res.eigenvalues, exact) < 1e-3
+
+    def test_extdict_pca_small_error(self, matrix):
+        res = run_pca(matrix, 4, method="extdict", eps=0.05, seed=0,
+                      tol=1e-10, max_iter=500)
+        exact = exact_gram_eigenvalues(matrix, 4)
+        assert eigenvalue_error(res.eigenvalues, exact) < 0.1
+
+    def test_distributed_pca(self, matrix, small_cluster):
+        res = run_pca(matrix, 3, method="extdict", eps=0.05, seed=0,
+                      cluster=small_cluster, tol=1e-9, max_iter=300)
+        exact = exact_gram_eigenvalues(matrix, 3)
+        assert eigenvalue_error(res.eigenvalues, exact) < 0.1
+        assert res.simulated_time > 0
+
+    def test_error_grows_with_eps(self, matrix):
+        exact = exact_gram_eigenvalues(matrix, 3)
+        errs = []
+        for eps in (0.01, 0.3):
+            res = run_pca(matrix, 3, method="extdict", eps=eps, seed=0,
+                          tol=1e-10, max_iter=400)
+            errs.append(eigenvalue_error(res.eigenvalues, exact))
+        assert errs[0] <= errs[1] + 1e-6

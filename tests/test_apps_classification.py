@@ -1,0 +1,83 @@
+"""LS-SVM classification tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.classification import (
+    make_classification_problem,
+    train_ls_svm,
+    train_ls_svm_transformed,
+)
+from repro.core import exd_transform
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_classification_problem(m=24, n=160, margin=1.0,
+                                       noise=0.1, seed=5)
+
+
+class TestProblemGenerator:
+    def test_separable_by_construction(self, problem):
+        a, labels, (w, b) = problem
+        margins = labels * (w @ a + b)
+        assert np.all(margins > 0.5)
+
+    def test_deterministic(self):
+        a1, l1, _ = make_classification_problem(seed=3)
+        a2, l2, _ = make_classification_problem(seed=3)
+        assert np.array_equal(a1, a2) and np.array_equal(l1, l2)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            make_classification_problem(m=1, n=10)
+
+
+class TestLSSVM:
+    def test_trains_to_high_accuracy(self, problem):
+        a, labels, _ = problem
+        model = train_ls_svm(a, labels, gamma=50.0)
+        acc = float(np.mean(model.predict(a) == labels))
+        assert acc > 0.97
+        assert model.meta["cg_converged"]
+
+    def test_generalises_to_fresh_samples(self, problem):
+        a, labels, _ = problem
+        model = train_ls_svm(a, labels, gamma=50.0)
+        a_test, y_test, _ = make_classification_problem(
+            m=24, n=80, margin=1.0, noise=0.1, seed=5)
+        acc = float(np.mean(model.predict(a_test) == y_test))
+        assert acc > 0.9
+
+    def test_single_column_decision(self, problem):
+        a, labels, _ = problem
+        model = train_ls_svm(a, labels, gamma=50.0)
+        score = model.decision(a[:, 0])
+        assert np.isscalar(score) or np.ndim(score) == 0
+        assert np.sign(score) == labels[0]
+
+    def test_transformed_gram_matches_exact(self, problem):
+        """Training through (DC)'DC at tight eps agrees with exact."""
+        a, labels, _ = problem
+        transform, stats = exd_transform(a, 80, 0.01, seed=0)
+        assert stats.all_converged
+        exact = train_ls_svm(a, labels, gamma=50.0)
+        approx = train_ls_svm_transformed(transform, labels, gamma=50.0)
+        agree = float(np.mean(exact.predict(a) == approx.predict(a)))
+        assert agree > 0.97
+
+    def test_label_validation(self, problem):
+        a, labels, _ = problem
+        with pytest.raises(ValidationError):
+            train_ls_svm(a, np.zeros(a.shape[1]))
+        with pytest.raises(ValidationError):
+            train_ls_svm(a, labels[:-1])
+        with pytest.raises(ValidationError):
+            train_ls_svm(a, labels, gamma=0.0)
+
+    def test_dimension_mismatch_on_predict(self, problem):
+        a, labels, _ = problem
+        model = train_ls_svm(a, labels, gamma=10.0)
+        with pytest.raises(ValidationError):
+            model.predict(np.ones((7, 3)))

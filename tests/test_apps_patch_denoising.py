@@ -1,0 +1,98 @@
+"""Patch-based denoising pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.patch_denoising import (
+    build_patch_dictionary,
+    denoise_image_patches,
+    estimate_noise_sigma,
+)
+from repro.data import add_noise_snr, psnr, synthetic_image
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [synthetic_image(48, seed=i) for i in range(4)]
+
+
+@pytest.fixture(scope="module")
+def noisy_pair():
+    target = synthetic_image(48, seed=99)
+    noisy = add_noise_snr(target, 15.0, seed=1)
+    return target, noisy
+
+
+class TestDictionary:
+    def test_shape_and_normalisation(self, corpus):
+        d = build_patch_dictionary(corpus, patch=8, size=128, seed=0)
+        assert d.shape[0] == 64
+        assert d.shape[1] <= 129  # DC atom + sampled (degenerates dropped)
+        assert np.allclose(np.linalg.norm(d, axis=0), 1.0, atol=1e-8)
+
+    def test_dc_atom_first(self, corpus):
+        d = build_patch_dictionary(corpus, patch=8, size=64, seed=0)
+        assert np.allclose(d[:, 0], d[0, 0])
+
+    def test_oversampling_rejected(self, corpus):
+        with pytest.raises(ValidationError):
+            build_patch_dictionary(corpus, patch=8, size=10_000, seed=0)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValidationError):
+            build_patch_dictionary([], patch=8, size=4)
+
+
+class TestNoiseEstimate:
+    def test_close_to_truth(self, noisy_pair):
+        target, noisy = noisy_pair
+        true_sigma = float(np.std(noisy - target))
+        est = estimate_noise_sigma(noisy)
+        assert est == pytest.approx(true_sigma, rel=0.25)
+
+    def test_clean_image_low_estimate(self):
+        img = synthetic_image(48, seed=3)
+        assert estimate_noise_sigma(img) < 0.03
+
+
+class TestDenoising:
+    def test_improves_psnr_substantially(self, corpus, noisy_pair):
+        target, noisy = noisy_pair
+        d = build_patch_dictionary(corpus, patch=8, size=256, seed=0)
+        res = denoise_image_patches(noisy, d, patch=8, stride=2)
+        assert psnr(target, res.image) > psnr(target, noisy) + 5.0
+
+    def test_explicit_sigma(self, corpus, noisy_pair):
+        target, noisy = noisy_pair
+        sigma = float(np.std(noisy - target))
+        d = build_patch_dictionary(corpus, patch=8, size=256, seed=0)
+        res = denoise_image_patches(noisy, d, patch=8, stride=2,
+                                    noise_sigma=sigma)
+        assert res.meta["noise_sigma"] == sigma
+        assert psnr(target, res.image) > psnr(target, noisy) + 5.0
+
+    def test_clean_input_roughly_preserved(self, corpus):
+        img = synthetic_image(48, seed=5)
+        d = build_patch_dictionary(corpus, patch=8, size=256, seed=0)
+        res = denoise_image_patches(img, d, patch=8, stride=2,
+                                    noise_sigma=0.01)
+        assert psnr(img, res.image) > 28.0
+
+    def test_statistics_reported(self, corpus, noisy_pair):
+        _, noisy = noisy_pair
+        d = build_patch_dictionary(corpus, patch=8, size=128, seed=0)
+        res = denoise_image_patches(noisy, d, patch=8, stride=4)
+        assert res.patches > 0
+        assert 0.0 <= res.meta["active_fraction"] <= 1.0
+        assert res.atoms_used_per_patch >= 0.0
+
+    def test_dictionary_shape_validated(self, noisy_pair):
+        _, noisy = noisy_pair
+        with pytest.raises(ValidationError):
+            denoise_image_patches(noisy, np.ones((10, 5)), patch=8)
+
+    def test_non_image_rejected(self, corpus):
+        d = build_patch_dictionary(corpus, patch=8, size=64, seed=0)
+        with pytest.raises(ValidationError):
+            denoise_image_patches(np.ones(10), d, patch=8)

@@ -1,0 +1,61 @@
+"""Hypothesis property tests for the transformation baselines."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import oasis_transform, rcss_transform
+from repro.data.subspaces import union_of_subspaces
+from repro.linalg.norms import relative_frobenius_error
+from repro.linalg.pseudo_inverse import least_squares_coefficients
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_rcss_error_nonincreasing_in_size(seed):
+    """More random columns can only improve the least-squares fit
+    (nested column subsets; here checked statistically via fixed seed
+    sampling of nested prefixes)."""
+    rng = np.random.default_rng(seed)
+    a, _ = union_of_subspaces(16, 60, n_subspaces=2, dim=3, noise=0.05,
+                              seed=seed)
+    order = rng.permutation(60)
+    errors = []
+    for l in (5, 15, 30):
+        d = a[:, order[:l]]
+        coef = least_squares_coefficients(d, a)
+        errors.append(relative_frobenius_error(a, d @ coef))
+    assert errors[0] >= errors[1] - 1e-9 >= errors[2] - 2e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.05, 0.3, allow_nan=False))
+def test_rcss_meets_requested_error(seed, eps):
+    a, _ = union_of_subspaces(16, 60, n_subspaces=2, dim=3, noise=0.02,
+                              seed=seed)
+    t = rcss_transform(a, eps, seed=seed)
+    assert t.transformation_error(a) <= eps + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_oasis_selects_distinct_informative_columns(seed):
+    a, _ = union_of_subspaces(16, 60, n_subspaces=3, dim=2, noise=0.02,
+                              seed=seed)
+    t = oasis_transform(a, 0.1, seed=seed)
+    idx = t.dictionary.indices
+    assert len(set(idx.tolist())) == idx.size
+    assert t.transformation_error(a) <= 0.1 + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_oasis_residuals_shrink_with_budget(seed):
+    """Greedy selection: a larger size budget never fits worse."""
+    a, _ = union_of_subspaces(16, 50, n_subspaces=2, dim=3, noise=0.05,
+                              seed=seed)
+    t_small = oasis_transform(a, 0.5, size=4, seed=seed)
+    t_big = oasis_transform(a, 0.5, size=12, seed=seed)
+    assume(t_small.l < t_big.l)
+    assert t_big.transformation_error(a) <= \
+        t_small.transformation_error(a) + 1e-9

@@ -1,0 +1,132 @@
+"""Tests for the transformation baselines: RCSS, oASIS, RankMap, dense."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DenseGramOperator,
+    oasis_transform,
+    rankmap_transform,
+    rcss_transform,
+    run_dense_distributed_gram,
+)
+from repro.errors import DictionaryError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.data.subspaces import union_of_subspaces
+    a, model = union_of_subspaces(30, 240, n_subspaces=3, dim=3,
+                                  noise=0.01, seed=51)
+    return a, model
+
+
+class TestRCSS:
+    def test_meets_error_target(self, data):
+        a, _ = data
+        t = rcss_transform(a, 0.1, seed=0)
+        assert t.method == "rcss"
+        assert t.transformation_error(a) <= 0.1 + 1e-9
+
+    def test_coefficients_are_dense(self, data):
+        a, _ = data
+        t = rcss_transform(a, 0.1, seed=0)
+        # Least-squares coefficients: essentially every entry non-zero.
+        assert t.alpha > 0.5 * t.l
+
+    def test_fixed_size(self, data):
+        a, _ = data
+        t = rcss_transform(a, 0.5, size=20, seed=0)
+        assert t.l == 20
+
+    def test_infeasible_raises(self, rng):
+        a = rng.standard_normal((30, 60))  # full-rank iid noise
+        with pytest.raises(DictionaryError):
+            rcss_transform(a, 0.01, max_size=5, seed=0)
+
+
+class TestOASIS:
+    def test_meets_error_target(self, data):
+        a, _ = data
+        t = oasis_transform(a, 0.1, seed=0)
+        assert t.method == "oasis"
+        assert t.transformation_error(a) <= 0.1 + 1e-9
+
+    def test_adaptive_needs_fewer_columns_than_random(self, data):
+        """oASIS picks informative columns: at equal ε its dictionary is
+        no larger than RCSS's random one (the adaptivity claim)."""
+        a, _ = data
+        t_oasis = oasis_transform(a, 0.05, seed=0)
+        t_rcss = rcss_transform(a, 0.05, seed=0)
+        assert t_oasis.l <= t_rcss.l + 2
+
+    def test_fixed_size_stop(self, data):
+        a, _ = data
+        t = oasis_transform(a, 0.5, size=7, seed=0)
+        assert t.l <= 7
+
+    def test_selected_are_data_columns(self, data):
+        a, _ = data
+        t = oasis_transform(a, 0.2, seed=0)
+        for k, idx in enumerate(t.dictionary.indices):
+            assert np.allclose(t.dictionary.atoms[:, k], a[:, idx])
+
+    def test_infeasible_raises(self, rng):
+        a = rng.standard_normal((30, 60))
+        with pytest.raises(DictionaryError):
+            oasis_transform(a, 0.001, max_size=3, seed=0)
+
+
+class TestRankMap:
+    def test_meets_error_target_with_sparse_c(self, data):
+        a, _ = data
+        t = rankmap_transform(a, 0.1, seed=0, subset_fraction=0.5)
+        assert t.method == "rankmap"
+        assert t.transformation_error(a) <= 0.1 + 1e-6
+        # Sparse coefficients, unlike RCSS/oASIS.
+        assert t.alpha < 0.5 * t.l
+
+    def test_dictionary_is_error_minimal_not_tuned(self, data):
+        """RankMap's L is near L_min; an ExD at 3·L_min is sparser."""
+        from repro.core import exd_transform
+        a, _ = data
+        t_rm = rankmap_transform(a, 0.1, seed=0, subset_fraction=0.5)
+        t_big, _ = exd_transform(a, min(3 * t_rm.l, a.shape[1]), 0.1,
+                                 seed=0)
+        assert t_big.alpha <= t_rm.alpha + 0.2
+
+
+class TestDenseBaseline:
+    def test_serial_operator(self, data, rng):
+        a, _ = data
+        op = DenseGramOperator(a)
+        x = rng.standard_normal(a.shape[1])
+        assert np.allclose(op(x), a.T @ (a @ x))
+        assert op.flops > 0
+
+    def test_distributed_matches_serial(self, data, rng, small_cluster):
+        a, _ = data
+        x = rng.standard_normal(a.shape[1])
+        y, res = run_dense_distributed_gram(a, x, small_cluster)
+        assert np.allclose(y, a.T @ (a @ x), atol=1e-8)
+        assert res.simulated_time > 0
+
+    def test_communication_is_2m_words(self, data, rng, small_cluster):
+        a, _ = data
+        x = rng.standard_normal(a.shape[1])
+        _, res = run_dense_distributed_gram(a, x, small_cluster,
+                                            iterations=2)
+        words = res.traffic.total_payload_words("reduce", "bcast")
+        assert words == 2 * 2 * a.shape[0]
+
+    def test_normalized_power_step(self, data, rng, small_cluster):
+        a, _ = data
+        x = rng.standard_normal(a.shape[1])
+        y, _ = run_dense_distributed_gram(a, x, small_cluster,
+                                          iterations=4, normalize=True)
+        assert np.linalg.norm(y) == pytest.approx(1.0, rel=1e-9)
+
+    def test_shape_validation(self, data, small_cluster):
+        a, _ = data
+        with pytest.raises(ValidationError):
+            run_dense_distributed_gram(a, np.ones(5), small_cluster)

@@ -1,0 +1,84 @@
+"""CLI tests (invoked in-process through repro.cli.main)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import load_transform
+
+
+class TestInfo:
+    def test_lists_platforms_and_datasets(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("1x1", "1x4", "2x8", "8x8"):
+            assert name in out
+        for name in ("salina", "cancer", "lightfield"):
+            assert name in out
+
+
+class TestTune:
+    def test_prints_tuning_table(self, capsys):
+        assert main(["tune", "--dataset", "salina", "--n", "256",
+                     "--eps", "0.1", "--platform", "1x4"]) == 0
+        out = capsys.readouterr().out
+        assert "L*" in out
+        assert "alpha(L)" in out
+
+    def test_memory_objective(self, capsys):
+        assert main(["tune", "--dataset", "lightfield", "--n", "256",
+                     "--objective", "memory"]) == 0
+        assert "memory cost" in capsys.readouterr().out
+
+
+class TestTransform:
+    def test_fixed_size_saves_file(self, tmp_path, capsys):
+        out_path = tmp_path / "t.npz"
+        assert main(["transform", "--dataset", "salina", "--n", "256",
+                     "--size", "48", "--eps", "0.1",
+                     "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        t = load_transform(out_path)
+        assert t.l == 48 and t.n == 256
+        assert "saved transform" in capsys.readouterr().out
+
+    def test_from_npy_input(self, tmp_path, rng, capsys):
+        data = rng.standard_normal((20, 3)) @ rng.standard_normal((3, 60))
+        npy = tmp_path / "data.npy"
+        np.save(npy, data)
+        out_path = tmp_path / "t.npz"
+        assert main(["transform", "--input", str(npy), "--size", "20",
+                     "--eps", "0.05", "--out", str(out_path)]) == 0
+        t = load_transform(out_path)
+        assert t.shape == (20, 60)
+
+    def test_bad_input_shape(self, tmp_path, capsys):
+        npy = tmp_path / "bad.npy"
+        np.save(npy, np.ones(5))
+        assert main(["transform", "--input", str(npy), "--size", "2",
+                     "--out", str(tmp_path / "t.npz")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPca:
+    def test_serial(self, capsys):
+        assert main(["pca", "--dataset", "salina", "--n", "192",
+                     "--k", "3", "--eps", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Top-3 eigenvalues" in out
+        assert "cumulative error" in out
+
+    def test_distributed(self, capsys):
+        assert main(["pca", "--dataset", "lightfield", "--n", "192",
+                     "--k", "2", "--platform", "1x4"]) == 0
+        assert "simulated runtime on 1x4" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,167 @@
+"""Tests for α(L) estimation (Sec. VII) and the automated tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CostModel,
+    alpha_curve,
+    estimate_alpha_from_subsets,
+    find_min_feasible_size,
+    measure_alpha,
+    tune_dictionary_size,
+)
+from repro.errors import TuningError, ValidationError
+from repro.platform import RbfRatios, platform_by_name
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.data.subspaces import union_of_subspaces
+    a, model = union_of_subspaces(40, 400, n_subspaces=4, dim=3,
+                                  noise=0.01, seed=21)
+    return a, model
+
+
+class TestMeasureAlpha:
+    def test_mean_std_over_trials(self, data):
+        a, _ = data
+        est = measure_alpha(a, 60, 0.1, trials=3, seed=0)
+        assert len(est.values) == 3
+        assert est.mean > 0
+        assert est.std >= 0
+        assert est.feasible
+
+    def test_small_dictionary_infeasible(self, data):
+        a, _ = data
+        est = measure_alpha(a, 2, 0.01, seed=0)
+        assert not est.feasible
+
+    def test_alpha_bounded_by_model(self, data):
+        a, model = data
+        est = measure_alpha(a, 100, 0.05, seed=0)
+        # Sec. VII: α ≤ Σ Kᵢnᵢ/N (+1 slack for noise).
+        assert est.mean <= model.density_upper_bound(a.shape[1]) + 1.5
+
+    def test_error_computed_on_request(self, data):
+        a, _ = data
+        est = measure_alpha(a, 60, 0.1, seed=0, compute_error=True)
+        assert est.mean_error <= 0.1 + 1e-9
+
+
+class TestAlphaCurve:
+    def test_decreasing_beyond_lmin(self, data):
+        a, _ = data
+        curve = alpha_curve(a, [40, 80, 160], 0.05, trials=2, seed=0)
+        means = [c.mean for c in curve]
+        assert means[0] >= means[-1]
+
+    def test_identity_limit(self, data):
+        """At L = N the code is a_i = D e_i: α(N) = 1 (Sec. VII)."""
+        a, _ = data
+        sub = a[:, :80]
+        est = measure_alpha(sub, 80, 0.05, seed=0)
+        assert est.mean <= 2.5  # near the e_i limit (noise adds slack)
+
+
+class TestSubsetEstimation:
+    def test_converges_and_estimates(self, data):
+        a, _ = data
+        res = estimate_alpha_from_subsets(a, [40, 80], 0.1, seed=0,
+                                          subset_fractions=(0.2, 0.4, 0.8),
+                                          threshold=0.35)
+        assert res.subset_sizes == sorted(res.subset_sizes)
+        assert set(res.final_alpha) == {40, 80}
+        assert all(v > 0 for v in res.final_alpha.values())
+
+    def test_subset_estimate_close_to_full(self, data):
+        a, _ = data
+        full = measure_alpha(a, 80, 0.1, trials=2, seed=1).mean
+        res = estimate_alpha_from_subsets(a, [80], 0.1, seed=0,
+                                          subset_fractions=(0.3,))
+        est = res.final_alpha[80]
+        assert abs(est - full) / full < 0.35  # paper reports <14% at 10%
+
+    def test_invalid_fractions(self, data):
+        a, _ = data
+        with pytest.raises(ValidationError):
+            estimate_alpha_from_subsets(a, [40], 0.1,
+                                        subset_fractions=(0.0,))
+        with pytest.raises(ValidationError):
+            estimate_alpha_from_subsets(a, [40], 0.1, subset_fractions=())
+
+
+class TestFindMinFeasible:
+    def test_result_is_feasible_and_tight(self, data):
+        a, _ = data
+        l_min = find_min_feasible_size(a, 0.1, seed=0,
+                                       subset_fraction=0.5, trials=2)
+        # The subset estimate can undershoot the full-data requirement
+        # slightly (the paper grows L when that happens); a 50% margin
+        # must always be feasible, and L_min must not be trivially small.
+        est = measure_alpha(a, int(np.ceil(1.5 * l_min)), 0.1, seed=3)
+        assert est.feasible
+        assert l_min >= 4  # 4 subspaces of dim 3 need >= ~12 atoms
+
+    def test_impossible_tolerance_raises(self, rng):
+        # Full-rank iid Gaussian data with a tiny max_size cannot meet
+        # a tight tolerance.
+        a = rng.standard_normal((30, 60))
+        with pytest.raises(TuningError):
+            find_min_feasible_size(a, 0.001, seed=0, max_size=4)
+
+
+class TestTuner:
+    def test_picks_feasible_minimum_cost(self, data):
+        a, _ = data
+        model = CostModel(platform_by_name("1x4"))
+        res = tune_dictionary_size(a, 0.1, model, seed=0,
+                                   candidates=[40, 80, 160])
+        costs = {l: c for l, _, _, c in res.table}
+        assert res.best_size in costs
+        assert costs[res.best_size] == min(costs.values())
+
+    def test_platform_awareness(self, data):
+        """A compute-rich platform with free communication prefers larger
+        (sparser) dictionaries than a communication-starved one."""
+        a, _ = data
+        cluster = platform_by_name("2x8")
+        cheap_comm = CostModel(cluster, rbf=RbfRatios(time=0.0, energy=0.0))
+        dear_comm = CostModel(cluster,
+                              rbf=RbfRatios(time=1e4, energy=1e4))
+        res_cheap = tune_dictionary_size(a, 0.1, cheap_comm, seed=0,
+                                         candidates=[40, 80, 160])
+        res_dear = tune_dictionary_size(a, 0.1, dear_comm, seed=0,
+                                        candidates=[40, 80, 160])
+        assert res_cheap.best_size >= res_dear.best_size
+
+    def test_memory_objective(self, data):
+        a, _ = data
+        model = CostModel(platform_by_name("1x4"))
+        res = tune_dictionary_size(a, 0.1, model, objective="memory",
+                                   seed=0, candidates=[40, 80, 160])
+        assert res.objective == "memory"
+        assert res.best_size in (40, 80, 160)
+
+    def test_default_candidates_generated(self, data):
+        a, _ = data
+        model = CostModel(platform_by_name("1x1"))
+        res = tune_dictionary_size(a, 0.15, model, seed=0,
+                                   subset_fraction=0.4)
+        assert len(res.table) >= 2
+
+    def test_no_feasible_candidates(self, rng):
+        a = rng.standard_normal((30, 60))
+        model = CostModel(platform_by_name("1x4"))
+        with pytest.raises(TuningError):
+            tune_dictionary_size(a, 0.001, model, candidates=[2, 3],
+                                 seed=0)
+
+    def test_cost_of_lookup(self, data):
+        a, _ = data
+        model = CostModel(platform_by_name("1x4"))
+        res = tune_dictionary_size(a, 0.1, model, seed=0,
+                                   candidates=[40, 80])
+        assert res.cost_of(res.best_size) > 0
+        with pytest.raises(KeyError):
+            res.cost_of(999)

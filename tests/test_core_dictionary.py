@@ -1,0 +1,80 @@
+"""Unit tests for dictionary sampling (Alg. 1 step 0)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dictionary, sample_dictionary
+from repro.errors import ValidationError
+
+
+class TestSampleDictionary:
+    def test_atoms_come_from_data(self, union_data):
+        a, _ = union_data
+        d = sample_dictionary(a, 10, seed=0)
+        assert d.atoms.shape == (a.shape[0], 10)
+        for k in range(10):
+            assert np.array_equal(d.atoms[:, k], a[:, d.indices[k]])
+
+    def test_indices_distinct_and_sorted(self, union_data):
+        a, _ = union_data
+        d = sample_dictionary(a, 20, seed=1)
+        assert np.array_equal(d.indices, np.sort(d.indices))
+        assert len(set(d.indices.tolist())) == 20
+
+    def test_deterministic_with_seed(self, union_data):
+        a, _ = union_data
+        d1 = sample_dictionary(a, 8, seed=42)
+        d2 = sample_dictionary(a, 8, seed=42)
+        assert np.array_equal(d1.indices, d2.indices)
+
+    def test_oversampling_rejected_without_replace(self, union_data):
+        a, _ = union_data
+        with pytest.raises(ValidationError):
+            sample_dictionary(a, a.shape[1] + 1)
+
+    def test_oversampling_with_replace(self, union_data):
+        a, _ = union_data
+        d = sample_dictionary(a, a.shape[1] + 5, seed=0, replace=True)
+        assert d.size == a.shape[1] + 5
+
+    def test_full_sampling(self, union_data):
+        a, _ = union_data
+        d = sample_dictionary(a, a.shape[1], seed=0)
+        assert np.array_equal(np.sort(d.indices), np.arange(a.shape[1]))
+
+    def test_atoms_are_copies(self, union_data):
+        a, _ = union_data
+        d = sample_dictionary(a.copy(), 5, seed=0)
+        original = d.atoms.copy()
+        d.atoms[0, 0] += 100  # dataclass holds an independent array
+        assert d.atoms[0, 0] != original[0, 0]
+
+
+class TestDictionary:
+    def test_properties(self, rng):
+        atoms = rng.standard_normal((7, 3))
+        d = Dictionary(atoms, np.arange(3))
+        assert d.m == 7 and d.size == 3
+        assert d.memory_words == 21
+
+    def test_gram(self, rng):
+        atoms = rng.standard_normal((7, 3))
+        d = Dictionary(atoms, np.arange(3))
+        assert np.allclose(d.gram(), atoms.T @ atoms)
+
+    def test_concat(self, rng):
+        d1 = Dictionary(rng.standard_normal((5, 2)), np.array([0, 1]))
+        d2 = Dictionary(rng.standard_normal((5, 3)), np.array([-1, -1, -1]))
+        both = d1.concat(d2)
+        assert both.size == 5
+        assert both.indices.tolist() == [0, 1, -1, -1, -1]
+
+    def test_concat_row_mismatch(self, rng):
+        d1 = Dictionary(rng.standard_normal((5, 2)), np.array([0, 1]))
+        d2 = Dictionary(rng.standard_normal((6, 2)), np.array([0, 1]))
+        with pytest.raises(ValidationError):
+            d1.concat(d2)
+
+    def test_indices_length_validated(self, rng):
+        with pytest.raises(ValidationError):
+            Dictionary(rng.standard_normal((5, 2)), np.array([0]))

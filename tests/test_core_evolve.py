@@ -1,0 +1,108 @@
+"""Evolving-data update tests (Sec. V-E / Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import exd_transform, extend_transform
+from repro.data.subspaces import union_of_subspaces
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def base():
+    a, model = union_of_subspaces(24, 120, n_subspaces=2, dim=2,
+                                  noise=0.0, seed=31)
+    t, _ = exd_transform(a, 40, 0.05, seed=0)
+    return a, model, t
+
+
+class TestRepresentableAppend:
+    def test_same_subspace_columns_append(self, base, rng):
+        a, model, t = base
+        # New columns from the SAME subspaces: representable by D.
+        new_cols = np.stack(
+            [model.bases[i % 2] @ rng.standard_normal(2) for i in range(15)],
+            axis=1)
+        res = extend_transform(t, new_cols, seed=1)
+        assert not res.dictionary_grew
+        assert res.appended_columns == 15
+        assert res.extended_columns == 0
+        combined = np.concatenate([a, new_cols], axis=1)
+        assert res.transform.transformation_error(combined) <= 0.05 + 1e-9
+        assert res.transform.l == t.l
+
+    def test_column_order_preserved(self, base, rng):
+        a, model, t = base
+        new_cols = np.stack(
+            [model.bases[0] @ rng.standard_normal(2) for _ in range(5)],
+            axis=1)
+        res = extend_transform(t, new_cols, seed=1)
+        recon = res.transform.reconstruct()
+        assert np.allclose(recon[:, a.shape[1]:], new_cols,
+                           atol=0.06 * np.abs(new_cols).max() + 0.05)
+
+
+class TestDictionaryGrowth:
+    def test_novel_structure_grows_dictionary(self, base, rng):
+        a, model, t = base
+        # Drastically different content: a new random subspace.
+        novel, _ = union_of_subspaces(24, 20, n_subspaces=1, dim=3,
+                                      noise=0.0, seed=77)
+        res = extend_transform(t, novel, seed=2)
+        assert res.dictionary_grew
+        assert res.extended_columns > 0
+        assert res.transform.l > t.l
+        combined = np.concatenate([a, novel], axis=1)
+        assert res.transform.transformation_error(combined) <= 0.05 + 1e-6
+
+    def test_zero_padding_block_structure(self, base):
+        a, model, t = base
+        novel, _ = union_of_subspaces(24, 10, n_subspaces=1, dim=2,
+                                      noise=0.0, seed=78)
+        res = extend_transform(t, novel, seed=2)
+        c = res.transform.coefficients.to_dense()
+        n_old = a.shape[1]
+        # Old columns never reference the new atoms (Fig. 3 zero blocks).
+        assert np.all(c[t.l:, :n_old] == 0.0)
+
+    def test_mixed_batch(self, base, rng):
+        a, model, t = base
+        representable = np.stack(
+            [model.bases[0] @ rng.standard_normal(2) for _ in range(6)],
+            axis=1)
+        novel, _ = union_of_subspaces(24, 6, n_subspaces=1, dim=2,
+                                      noise=0.0, seed=79)
+        batch = np.concatenate([representable, novel], axis=1)
+        res = extend_transform(t, batch, seed=3)
+        assert res.appended_columns + res.extended_columns == 12
+        combined = np.concatenate([a, batch], axis=1)
+        assert res.transform.transformation_error(combined) <= 0.05 + 1e-6
+
+    def test_new_dictionary_size_override(self, base):
+        a, _, t = base
+        novel, _ = union_of_subspaces(24, 15, n_subspaces=1, dim=3,
+                                      noise=0.0, seed=80)
+        res = extend_transform(t, novel, seed=2, new_dictionary_size=10)
+        if res.dictionary_grew:
+            assert res.transform.l <= t.l + 10
+
+
+class TestValidation:
+    def test_row_mismatch(self, base):
+        _, _, t = base
+        with pytest.raises(ValidationError):
+            extend_transform(t, np.ones((5, 3)))
+
+    def test_repeated_updates_compose(self, base, rng):
+        a, model, t = base
+        current = t
+        total = a
+        for i in range(3):
+            new_cols = np.stack(
+                [model.bases[i % 2] @ rng.standard_normal(2)
+                 for _ in range(4)], axis=1)
+            res = extend_transform(current, new_cols, seed=i)
+            current = res.transform
+            total = np.concatenate([total, new_cols], axis=1)
+        assert current.n == total.shape[1]
+        assert current.transformation_error(total) <= 0.05 + 1e-6

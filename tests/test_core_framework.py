@@ -1,0 +1,124 @@
+"""End-to-end tests of the ExtDict framework API."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExtDict
+from repro.errors import ReproError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.data.subspaces import union_of_subspaces
+    a, _ = union_of_subspaces(32, 300, n_subspaces=3, dim=3, noise=0.01,
+                              seed=41)
+    return a
+
+
+class TestFit:
+    def test_fixed_size_fit(self, data):
+        ext = ExtDict(eps=0.1, size=60, seed=0).fit(data)
+        assert ext.transform_.l == 60
+        assert ext.transform_.transformation_error(data) <= 0.1 + 1e-9
+        assert ext.report_.tuned_size == 60
+        assert ext.report_.tuning_seconds == 0.0
+
+    def test_auto_tuned_fit(self, data, small_cluster):
+        ext = ExtDict(eps=0.1, cluster=small_cluster, seed=0,
+                      subset_fraction=0.4).fit(data)
+        assert ext.transform_ is not None
+        report = ext.preprocessing_report()
+        assert report.tuning_seconds > 0
+        assert report.transform_seconds > 0
+        assert len(report.tuning_table) >= 1
+
+    def test_tuning_without_cluster_rejected(self, data):
+        with pytest.raises(ValidationError):
+            ExtDict(eps=0.1).fit(data)
+
+    def test_distributed_preprocess_records_sim_time(self, data,
+                                                     small_cluster):
+        ext = ExtDict(eps=0.1, size=50, cluster=small_cluster, seed=0,
+                      distributed_preprocess=True).fit(data)
+        assert ext.report_.simulated_transform_seconds > 0
+
+    def test_use_before_fit_raises(self):
+        ext = ExtDict(eps=0.1, size=10)
+        with pytest.raises(ReproError):
+            ext.gram_operator()
+        with pytest.raises(ReproError):
+            ext.preprocessing_report()
+
+    def test_invalid_objective(self):
+        with pytest.raises(ValidationError):
+            ExtDict(objective="speed")
+
+
+class TestExecution:
+    def test_gram_operator(self, data, rng):
+        ext = ExtDict(eps=0.05, size=80, seed=0).fit(data)
+        op = ext.gram_operator()
+        x = rng.standard_normal(data.shape[1])
+        exact = data.T @ (data @ x)
+        rel = np.linalg.norm(op(x) - exact) / np.linalg.norm(exact)
+        assert rel < 0.3
+
+    def test_gram_distributed_requires_cluster(self, data, rng):
+        ext = ExtDict(eps=0.1, size=50, seed=0).fit(data)
+        with pytest.raises(ValidationError):
+            ext.gram_apply_distributed(rng.standard_normal(data.shape[1]))
+
+    def test_gram_distributed(self, data, rng, small_cluster):
+        ext = ExtDict(eps=0.1, size=50, cluster=small_cluster,
+                      seed=0).fit(data)
+        x = rng.standard_normal(data.shape[1])
+        y, spmd = ext.gram_apply_distributed(x)
+        assert np.allclose(y, ext.gram_operator()(x), atol=1e-7)
+        assert spmd.simulated_time > 0
+
+    def test_power_method(self, data):
+        ext = ExtDict(eps=0.02, size=100, seed=0).fit(data)
+        values, vectors, _ = ext.power_method(3, seed=0)
+        exact = np.linalg.svd(data, compute_uv=False)[:3] ** 2
+        assert np.allclose(values, exact, rtol=0.15)
+
+    def test_lasso(self, data, rng):
+        ext = ExtDict(eps=0.02, size=100, seed=0).fit(data)
+        x_true = np.zeros(data.shape[1])
+        x_true[[3, 50, 200]] = [1.0, -2.0, 0.5]
+        y = data @ x_true
+        result = ext.lasso(y, lam=1e-4, lr=0.3, max_iter=400)
+        recon = data @ result.x
+        assert np.linalg.norm(recon - y) / np.linalg.norm(y) < 0.15
+
+    def test_ridge(self, data, rng):
+        ext = ExtDict(eps=0.02, size=100, seed=0).fit(data)
+        x_true = np.zeros(data.shape[1])
+        x_true[[10, 100]] = [1.0, -1.0]
+        y = data @ x_true
+        res = ext.ridge(y, lam=0.01, lr=0.3, max_iter=800)
+        assert np.linalg.norm(data @ res.x - y) / np.linalg.norm(y) < 0.1
+
+    def test_elastic_net(self, data):
+        ext = ExtDict(eps=0.02, size=100, seed=0).fit(data)
+        x_true = np.zeros(data.shape[1])
+        x_true[[5, 42]] = [2.0, 1.0]
+        y = data @ x_true
+        res = ext.elastic_net(y, lam1=1e-4, lam2=0.01, lr=0.3,
+                              max_iter=800)
+        assert np.linalg.norm(data @ res.x - y) / np.linalg.norm(y) < 0.15
+
+    def test_sparse_pca(self, data):
+        ext = ExtDict(eps=0.02, size=100, seed=0).fit(data)
+        values, comps = ext.sparse_pca(2, sparsity=20, seed=0)
+        assert comps.shape == (data.shape[1], 2)
+        assert np.count_nonzero(comps[:, 0]) <= 20
+        exact_top = float(np.linalg.eigvalsh(data.T @ data)[-1])
+        assert values[0] > 0.2 * exact_top
+
+    def test_update_evolving(self, data, rng):
+        ext = ExtDict(eps=0.1, size=60, seed=0).fit(data)
+        n_before = ext.transform_.n
+        new_cols = data[:, :10] + 0.001 * rng.standard_normal((32, 10))
+        ext.update(new_cols)
+        assert ext.transform_.n == n_before + 10

@@ -1,0 +1,142 @@
+"""Algorithm 2 tests: correctness, case split, communication bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TransformedGramOperator,
+    exd_transform,
+    run_distributed_gram,
+    select_case,
+)
+from repro.errors import ValidationError
+from repro.mpi import run_spmd
+from repro.platform import platform_by_name
+
+
+@pytest.fixture(scope="module")
+def transform_small_l(noisy_union_data):
+    """Case 1 transform: L=40 < M is false here (M=30) — construct both."""
+    a, _ = noisy_union_data          # M=30, N=200
+    t, _ = exd_transform(a, 20, 0.1, seed=0)   # L=20 <= M=30 -> Case 1
+    return a, t
+
+
+@pytest.fixture(scope="module")
+def transform_large_l(noisy_union_data):
+    a, _ = noisy_union_data
+    t, _ = exd_transform(a, 80, 0.1, seed=0)   # L=80 > M=30 -> Case 2
+    return a, t
+
+
+class TestSelectCase:
+    def test_boundaries(self):
+        assert select_case(10, 10) == 1
+        assert select_case(10, 9) == 1
+        assert select_case(10, 11) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            select_case(0, 5)
+
+
+class TestSerialOperator:
+    def test_matches_dense_gram(self, transform_small_l, rng):
+        a, t = transform_small_l
+        op = TransformedGramOperator(t)
+        x = rng.standard_normal(t.n)
+        recon = t.reconstruct()
+        assert np.allclose(op(x), recon.T @ (recon @ x), atol=1e-7)
+        assert op.flops > 0
+
+    def test_precompute_gram_toggle(self, transform_large_l, rng):
+        a, t = transform_large_l
+        x = rng.standard_normal(t.n)
+        with_gram = TransformedGramOperator(t, precompute_gram=True)
+        without = TransformedGramOperator(t, precompute_gram=False)
+        assert np.allclose(with_gram(x), without(x), atol=1e-7)
+
+    def test_approximates_true_gram(self, transform_small_l, rng):
+        a, t = transform_small_l
+        op = TransformedGramOperator(t)
+        x = rng.standard_normal(t.n)
+        exact = a.T @ (a @ x)
+        rel = np.linalg.norm(op(x) - exact) / np.linalg.norm(exact)
+        assert rel < 0.5  # ε=0.1 transform: Gram error bounded by ~2ε+ε²
+
+
+class TestDistributedGram:
+    @pytest.mark.parametrize("fixture_name",
+                             ["transform_small_l", "transform_large_l"])
+    def test_matches_serial(self, fixture_name, request, rng,
+                            small_cluster):
+        a, t = request.getfixturevalue(fixture_name)
+        x = rng.standard_normal(t.n)
+        serial = TransformedGramOperator(t)(x)
+        dist, _ = run_distributed_gram(t, x, small_cluster)
+        assert np.allclose(dist, serial, atol=1e-7)
+
+    def test_multi_iteration(self, transform_small_l, rng, small_cluster):
+        a, t = transform_small_l
+        x = rng.standard_normal(t.n)
+        op = TransformedGramOperator(t)
+        serial = op(op(op(x)))
+        dist, _ = run_distributed_gram(t, x, small_cluster, iterations=3)
+        assert np.allclose(dist, serial, rtol=1e-6, atol=1e-5)
+
+    def test_normalized_iteration(self, transform_small_l, rng,
+                                  small_cluster):
+        a, t = transform_small_l
+        x = rng.standard_normal(t.n)
+        dist, _ = run_distributed_gram(t, x, small_cluster, iterations=5,
+                                       normalize=True)
+        assert np.linalg.norm(dist) == pytest.approx(1.0, rel=1e-9)
+
+    def test_case1_communication_bound(self, transform_small_l, rng,
+                                       small_cluster):
+        """Case 1 (L<=M): one L-word reduce + one L-word bcast per
+        iteration — the paper's min(M, L) bound (×2 for the round trip)."""
+        a, t = transform_small_l
+        x = rng.standard_normal(t.n)
+        iters = 4
+        _, res = run_distributed_gram(t, x, small_cluster, iterations=iters)
+        words = res.traffic.total_payload_words("reduce", "bcast")
+        assert words == iters * 2 * t.l
+        assert t.l == min(t.m, t.l)
+
+    def test_case2_communication_bound(self, transform_large_l, rng,
+                                       small_cluster):
+        """Case 2 (L>M): M-word reduce + M-word bcast per iteration."""
+        a, t = transform_large_l
+        x = rng.standard_normal(t.n)
+        iters = 3
+        _, res = run_distributed_gram(t, x, small_cluster, iterations=iters)
+        words = res.traffic.total_payload_words("reduce", "bcast")
+        assert words == iters * 2 * t.m
+        assert t.m == min(t.m, t.l)
+
+    def test_flops_match_model(self, transform_small_l, rng, small_cluster):
+        """Per-iteration multiplies: 2·nnz(C) sparse + L² root Gram."""
+        a, t = transform_small_l
+        x = rng.standard_normal(t.n)
+        _, res = run_distributed_gram(t, x, small_cluster, iterations=1)
+        # Total mults+adds across ranks; the dominant terms are exact.
+        expected_min = 2 * t.nnz + 2 * t.l * t.l
+        assert res.total_flops >= expected_min
+        assert res.total_flops <= 3 * expected_min + 4 * t.n
+
+    def test_shape_validation(self, transform_small_l, small_cluster):
+        a, t = transform_small_l
+        with pytest.raises(ValidationError):
+            run_distributed_gram(t, np.ones(3), small_cluster)
+
+    def test_works_on_more_ranks_than_columns_block(self, rng):
+        """Degenerate partitioning: more ranks than some blocks' columns."""
+        from repro.data.subspaces import union_of_subspaces
+        a, _ = union_of_subspaces(12, 10, n_subspaces=2, dim=2, seed=0)
+        t, _ = exd_transform(a, 6, 0.2, seed=0)
+        x = rng.standard_normal(10)
+        cluster = platform_by_name("2x8")  # 16 ranks > 10 columns
+        dist, _ = run_distributed_gram(t, x, cluster)
+        serial = TransformedGramOperator(t)(x)
+        assert np.allclose(dist, serial, atol=1e-7)

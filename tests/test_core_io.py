@@ -1,0 +1,59 @@
+"""Transform persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import exd_transform, load_transform, save_transform
+from repro.errors import ValidationError
+
+
+@pytest.fixture()
+def transform(union_data):
+    a, _ = union_data
+    t, _ = exd_transform(a, 30, 0.05, seed=0)
+    return t
+
+
+class TestSaveLoad:
+    def test_roundtrip_values(self, transform, tmp_path):
+        path = save_transform(transform, tmp_path / "t")
+        assert path.suffix == ".npz"
+        back = load_transform(path)
+        assert back.eps == transform.eps
+        assert back.method == transform.method
+        assert back.l == transform.l and back.n == transform.n
+        assert np.array_equal(back.dictionary.atoms,
+                              transform.dictionary.atoms)
+        assert np.array_equal(back.dictionary.indices,
+                              transform.dictionary.indices)
+        assert back.coefficients.allclose(transform.coefficients)
+
+    def test_meta_preserved(self, transform, tmp_path):
+        transform.meta["note"] = "hello"
+        transform.meta["unpicklable"] = object()  # silently dropped
+        back = load_transform(save_transform(transform, tmp_path / "t"))
+        assert back.meta["note"] == "hello"
+        assert "unpicklable" not in back.meta
+        assert back.meta["normalized"] == transform.meta["normalized"]
+
+    def test_suffix_added_once(self, transform, tmp_path):
+        path = save_transform(transform, tmp_path / "t.npz")
+        assert path.name == "t.npz"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="no such"):
+            load_transform(tmp_path / "absent.npz")
+
+    def test_not_a_transform_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.ones(3))
+        with pytest.raises(ValidationError, match="not a repro transform"):
+            load_transform(path)
+
+    def test_loaded_transform_is_usable(self, transform, tmp_path, rng):
+        back = load_transform(save_transform(transform, tmp_path / "t"))
+        x = rng.standard_normal(back.n)
+        from repro.core import TransformedGramOperator
+        op_a = TransformedGramOperator(transform)
+        op_b = TransformedGramOperator(back)
+        assert np.allclose(op_a(x), op_b(x))

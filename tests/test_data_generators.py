@@ -1,0 +1,122 @@
+"""Tests for the dataset surrogates and registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import exd_transform
+from repro.data import (
+    DATASETS,
+    cancer_cells_like,
+    camera_subset_rows,
+    lightfield_like,
+    lightfield_patches,
+    load_dataset,
+    salina_like,
+)
+from repro.errors import ValidationError
+
+
+class TestSalina:
+    def test_shape_and_determinism(self):
+        a1, _ = salina_like(n=128, seed=4)
+        a2, _ = salina_like(n=128, seed=4)
+        assert a1.shape == (203, 128)
+        assert np.array_equal(a1, a2)
+
+    def test_union_of_subspaces_compressible(self):
+        a, _ = salina_like(n=256, seed=4)
+        t, stats = exd_transform(a, 64, 0.1, seed=0)
+        assert stats.all_converged
+        assert t.alpha < 8  # far below M=203: dense data, sparse codes
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            salina_like(m=2, n=10)
+
+
+class TestCancer:
+    def test_denser_geometry_than_salina(self):
+        """The paper's Table II observation: Cancer Cells need more OMP
+        work (denser codes) than the others at equal ε."""
+        a_c, _ = cancer_cells_like(m=128, n=400, seed=4)
+        a_s, _ = salina_like(m=128, n=400, seed=4)
+        t_c, _ = exd_transform(a_c, 100, 0.1, seed=0)
+        t_s, _ = exd_transform(a_s, 100, 0.1, seed=0)
+        assert t_c.alpha > t_s.alpha
+
+    def test_leakage_validation(self):
+        with pytest.raises(ValidationError):
+            cancer_cells_like(leakage=1.5)
+
+
+class TestLightfield:
+    def test_most_redundant(self):
+        a_l, _ = lightfield_like(m=128, n=400, seed=4)
+        a_s, _ = salina_like(m=128, n=400, seed=4)
+        t_l, _ = exd_transform(a_l, 100, 0.1, seed=0)
+        t_s, _ = exd_transform(a_s, 100, 0.1, seed=0)
+        assert t_l.alpha <= t_s.alpha
+
+    def test_patch_dataset_shape(self):
+        a = lightfield_patches(cams=3, patch=4, image_size=16, n_images=2,
+                               stride=4, seed=0)
+        # 9 cameras x 16-pixel patches = 144 rows; 16 patches x 2 images.
+        assert a.shape == (9 * 16, 32)
+
+    def test_paper_dimensions(self):
+        a = lightfield_patches(cams=5, patch=8, image_size=24, n_images=1,
+                               stride=8, seed=0)
+        assert a.shape[0] == 1600  # 25 cameras x 64 pixels
+
+    def test_camera_subset_rows(self):
+        rows = camera_subset_rows(cams_full=5, cams_sub=3, patch=8)
+        assert rows.size == 576
+        assert rows.min() >= 0 and rows.max() < 1600
+        assert len(set(rows.tolist())) == 576
+
+    def test_camera_subset_centre(self):
+        rows = camera_subset_rows(cams_full=3, cams_sub=1, patch=2)
+        # Central camera of a 3x3 grid is camera 4 -> rows 16..19.
+        assert rows.tolist() == [16, 17, 18, 19]
+
+    def test_subset_validation(self):
+        with pytest.raises(ValidationError):
+            camera_subset_rows(cams_full=3, cams_sub=5, patch=2)
+
+    def test_views_are_correlated(self):
+        """Different cameras see near-identical content (the redundancy
+        super-resolution relies on)."""
+        a = lightfield_patches(cams=3, patch=4, image_size=16, n_images=1,
+                               stride=4, max_disparity=1, seed=0)
+        ppatch = 16
+        cam0 = a[:ppatch]
+        cam4 = a[4 * ppatch:5 * ppatch]  # centre camera
+        corr = np.corrcoef(cam0.ravel(), cam4.ravel())[0, 1]
+        assert corr > 0.8
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in DATASETS:
+            b = load_dataset(name, n=96, seed=1)
+            assert b.matrix.shape[1] == 96
+            assert b.paper_shape[1] > 10_000
+            assert "model" in b.meta
+
+    def test_scale_parameter(self):
+        b = load_dataset("salina", scale=0.01, seed=1)
+        expected = max(int(round(0.01 * 54_129)), 64)
+        assert b.matrix.shape[1] == expected
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            load_dataset("imagenet")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValidationError):
+            load_dataset("salina", scale=2.0)
+
+    def test_deterministic(self):
+        b1 = load_dataset("cancer", n=64, seed=9)
+        b2 = load_dataset("cancer", n=64, seed=9)
+        assert np.array_equal(b1.matrix, b2.matrix)

@@ -1,0 +1,81 @@
+"""Tests for the union-of-subspaces generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import SubspaceModel, union_of_subspaces
+from repro.errors import ValidationError
+
+
+class TestUnionOfSubspaces:
+    def test_shape_and_determinism(self):
+        a1, m1 = union_of_subspaces(20, 50, seed=3)
+        a2, m2 = union_of_subspaces(20, 50, seed=3)
+        assert a1.shape == (20, 50)
+        assert np.array_equal(a1, a2)
+        assert np.array_equal(m1.labels, m2.labels)
+
+    def test_columns_live_in_their_subspace(self):
+        a, model = union_of_subspaces(20, 60, n_subspaces=3, dim=2,
+                                      noise=0.0, seed=5)
+        for i, basis in enumerate(model.bases):
+            cols = a[:, model.labels == i]
+            # Residual after projecting onto the subspace must vanish.
+            resid = cols - basis @ (basis.T @ cols)
+            assert np.linalg.norm(resid) < 1e-10
+
+    def test_noise_breaks_exact_membership(self):
+        a, model = union_of_subspaces(20, 60, n_subspaces=2, dim=2,
+                                      noise=0.05, seed=5)
+        basis = model.bases[0]
+        cols = a[:, model.labels == 0]
+        resid = cols - basis @ (basis.T @ cols)
+        assert np.linalg.norm(resid) > 1e-6
+
+    def test_per_subspace_dims(self):
+        a, model = union_of_subspaces(20, 40, n_subspaces=3, dim=(1, 2, 3),
+                                      seed=0)
+        assert model.dims == (1, 2, 3)
+
+    def test_bases_orthonormal(self):
+        _, model = union_of_subspaces(20, 40, n_subspaces=2, dim=4, seed=0)
+        for b in model.bases:
+            assert np.allclose(b.T @ b, np.eye(4), atol=1e-10)
+
+    def test_weights_respected(self):
+        _, model = union_of_subspaces(10, 3000, n_subspaces=2, dim=2,
+                                      weights=[9, 1], seed=0)
+        frac = np.mean(model.labels == 0)
+        assert 0.85 < frac < 0.95
+
+    def test_nonnegative_option(self):
+        a, _ = union_of_subspaces(10, 30, nonnegative=True, seed=0)
+        assert np.all(a >= 0)
+
+    def test_heavy_tail_has_larger_kurtosis(self):
+        a_n, _ = union_of_subspaces(10, 4000, n_subspaces=1, dim=1,
+                                    heavy_tail=False, seed=0)
+        a_t, _ = union_of_subspaces(10, 4000, n_subspaces=1, dim=1,
+                                    heavy_tail=True, seed=0)
+
+        def kurt(x):
+            x = x.ravel()
+            return np.mean((x - x.mean()) ** 4) / np.var(x) ** 2
+        assert kurt(a_t) > kurt(a_n)
+
+    def test_density_upper_bound(self):
+        _, model = union_of_subspaces(20, 100, n_subspaces=2, dim=3, seed=0)
+        bound = model.density_upper_bound(100)
+        assert 0 < bound <= 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            union_of_subspaces(0, 10)
+        with pytest.raises(ValidationError):
+            union_of_subspaces(10, 10, dim=11)
+        with pytest.raises(ValidationError):
+            union_of_subspaces(10, 10, dim=(1, 2))  # wrong count
+        with pytest.raises(ValidationError):
+            union_of_subspaces(10, 10, noise=-0.1)
+        with pytest.raises(ValidationError):
+            union_of_subspaces(10, 10, n_subspaces=2, weights=[1, -1])

@@ -1,0 +1,34 @@
+"""Examples stay runnable: compile all, execute the fast ones."""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Fast enough to execute inside the unit-test suite (< ~15 s each).
+FAST_EXAMPLES = ("evolving_data.py", "subspace_clustering.py",
+                 "execution_timeline.py")
+
+
+def test_examples_exist():
+    names = {p.name for p in ALL_EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 9
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    proc = subprocess.run([sys.executable, str(EXAMPLES_DIR / name)],
+                          capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()

@@ -1,0 +1,74 @@
+"""Unit tests for the incremental Cholesky factorisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.linalg import IncrementalCholesky
+
+
+def spd_matrix(n, seed=0):
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((n, n))
+    return b @ b.T + n * np.eye(n)
+
+
+class TestIncrementalCholesky:
+    def test_matches_numpy_cholesky(self):
+        g = spd_matrix(6)
+        chol = IncrementalCholesky()
+        for k in range(6):
+            assert chol.append(g[k, :k], g[k, k])
+        assert np.allclose(chol.factor, np.linalg.cholesky(g))
+
+    def test_solve_matches_direct(self):
+        g = spd_matrix(5, seed=1)
+        chol = IncrementalCholesky()
+        for k in range(5):
+            chol.append(g[k, :k], g[k, k])
+        b = np.arange(5.0)
+        assert np.allclose(chol.solve(b), np.linalg.solve(g, b))
+
+    def test_progressive_solves_each_size(self):
+        g = spd_matrix(5, seed=2)
+        chol = IncrementalCholesky()
+        for k in range(5):
+            chol.append(g[k, :k], g[k, k])
+            sub = g[:k + 1, :k + 1]
+            b = np.ones(k + 1)
+            assert np.allclose(chol.solve(b), np.linalg.solve(sub, b))
+
+    def test_rejects_dependent_row(self):
+        chol = IncrementalCholesky()
+        assert chol.append(np.empty(0), 1.0)
+        # Second row identical to first: cross=1, diag=1 -> pivot 0.
+        assert not chol.append(np.array([1.0]), 1.0)
+        assert chol.size == 1  # unchanged
+
+    def test_rejects_nonpositive_first_pivot(self):
+        chol = IncrementalCholesky()
+        assert not chol.append(np.empty(0), 0.0)
+        assert chol.size == 0
+
+    def test_capacity_growth(self):
+        g = spd_matrix(20, seed=3)
+        chol = IncrementalCholesky(capacity=2)
+        for k in range(20):
+            assert chol.append(g[k, :k], g[k, k])
+        assert np.allclose(chol.factor @ chol.factor.T, g)
+
+    def test_cross_shape_validated(self):
+        chol = IncrementalCholesky()
+        chol.append(np.empty(0), 2.0)
+        with pytest.raises(ValidationError):
+            chol.append(np.array([1.0, 2.0]), 3.0)
+
+    def test_solve_shape_validated(self):
+        chol = IncrementalCholesky()
+        chol.append(np.empty(0), 2.0)
+        with pytest.raises(ValidationError):
+            chol.solve(np.ones(3))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            IncrementalCholesky(capacity=0)

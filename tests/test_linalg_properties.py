@@ -1,0 +1,84 @@
+"""Hypothesis property tests for OMP — the invariants ExD relies on."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import batch_omp_solve, omp_solve
+
+
+def make_problem(seed, m, l, sparsity):
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal((m, l))
+    d /= np.linalg.norm(d, axis=0, keepdims=True)
+    support = rng.choice(l, size=min(sparsity, l), replace=False)
+    coef = rng.standard_normal(support.size)
+    return d, d[:, support] @ coef
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.integers(6, 24), st.integers(2, 10),
+       st.integers(1, 3))
+def test_omp_residual_criterion_always_met_when_feasible(seed, m, l, k):
+    """If the signal lies in span(D), ε=0 coding must succeed."""
+    assume(k <= l <= m)
+    d, a = make_problem(seed, m, l, k)
+    res = batch_omp_solve(d, a, eps=0.0)
+    assert res.converged
+    recon = d[:, res.support] @ res.coefficients if res.support.size \
+        else np.zeros(m)
+    assert np.linalg.norm(a - recon) <= 1e-6 * max(np.linalg.norm(a), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000),
+       st.floats(0.01, 0.5, allow_nan=False))
+def test_omp_residual_below_relative_tolerance(seed, eps):
+    d, a = make_problem(seed, 16, 10, 3)
+    res = batch_omp_solve(d, a, eps=eps)
+    assert res.residual_norm <= eps * np.linalg.norm(a) + 1e-10
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_batch_equals_reference(seed):
+    d, a = make_problem(seed, 14, 9, 3)
+    norm = max(np.linalg.norm(a), 1.0)
+    for eps in (0.0, 0.1):
+        ref = omp_solve(d, a, eps)
+        fast = batch_omp_solve(d, a, eps)
+        assert fast.converged == ref.converged
+        assert abs(fast.residual_norm - ref.residual_norm) <= 1e-6 * norm
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.0, 0.3, allow_nan=False))
+def test_looser_eps_never_denser(seed, eps):
+    """Monotonicity: a larger tolerance cannot need more atoms."""
+    d, a = make_problem(seed, 16, 10, 4)
+    tight = batch_omp_solve(d, a, eps=eps)
+    loose = batch_omp_solve(d, a, eps=min(eps + 0.2, 0.9))
+    assert loose.support.size <= tight.support.size
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_sparsity_bounded_by_subspace_dimension(seed):
+    """Union-of-subspaces guarantee: a signal in a K-dim subspace whose
+    spanning atoms are in D gets a ≤K-sparse code at ε=0."""
+    rng = np.random.default_rng(seed)
+    m, k = 20, 3
+    basis = np.linalg.qr(rng.standard_normal((m, k)))[0]
+    # Dictionary: k atoms spanning the subspace + distractors outside.
+    atoms_in = basis @ rng.standard_normal((k, k)) + \
+        np.eye(m)[:, :k] * 0  # keep in-subspace
+    # Ensure the in-subspace atoms are independent.
+    assume(np.linalg.matrix_rank(atoms_in) == k)
+    distract = rng.standard_normal((m, 5))
+    distract -= basis @ (basis.T @ distract)  # orthogonal to subspace
+    d = np.concatenate([atoms_in, distract], axis=1)
+    d = d / np.maximum(np.linalg.norm(d, axis=0, keepdims=True), 1e-12)
+    a = basis @ rng.standard_normal(k)
+    res = batch_omp_solve(d, a, eps=1e-8)
+    assert res.converged
+    assert res.support.size <= k

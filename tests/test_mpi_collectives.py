@@ -1,0 +1,210 @@
+"""Collective semantics of the MPI emulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIEmulatorError, RankFailedError, ValidationError
+from repro.mpi import run_spmd
+
+
+class TestBcast:
+    def test_object_bcast(self):
+        def prog(comm):
+            data = {"k": [1, 2]} if comm.Get_rank() == 0 else None
+            return comm.bcast(data, root=0)
+        res = run_spmd(4, prog)
+        assert all(r == {"k": [1, 2]} for r in res.returns)
+
+    def test_bcast_nonzero_root(self):
+        def prog(comm):
+            data = "payload" if comm.Get_rank() == 2 else None
+            return comm.bcast(data, root=2)
+        res = run_spmd(4, prog)
+        assert all(r == "payload" for r in res.returns)
+
+    def test_bcast_copies_are_independent(self):
+        def prog(comm):
+            data = [0] if comm.Get_rank() == 0 else None
+            out = comm.bcast(data, root=0)
+            out.append(comm.Get_rank())
+            return out
+        res = run_spmd(3, prog)
+        assert res.returns == [[0, 0], [0, 1], [0, 2]]
+
+    def test_buffer_bcast(self):
+        def prog(comm):
+            buf = np.arange(6.0) if comm.Get_rank() == 0 else np.zeros(6)
+            comm.Bcast(buf, root=0)
+            return buf.sum()
+        res = run_spmd(3, prog)
+        assert res.returns == [15.0, 15.0, 15.0]
+
+
+class TestReduce:
+    def test_scalar_sum(self):
+        def prog(comm):
+            return comm.reduce(comm.Get_rank() + 1, op="sum", root=0)
+        res = run_spmd(4, prog)
+        assert res.returns[0] == 10
+        assert res.returns[1:] == [None, None, None]
+
+    def test_array_sum(self):
+        def prog(comm):
+            return comm.allreduce(np.full(3, float(comm.Get_rank())))
+        res = run_spmd(4, prog)
+        assert np.array_equal(res.returns[2], np.full(3, 6.0))
+
+    @pytest.mark.parametrize("op,expected", [
+        ("max", 3), ("min", 0), ("prod", 0), ("sum", 6)])
+    def test_named_ops(self, op, expected):
+        def prog(comm):
+            return comm.allreduce(comm.Get_rank(), op=op)
+        res = run_spmd(4, prog)
+        assert res.returns[0] == expected
+
+    def test_callable_op(self):
+        def prog(comm):
+            return comm.allreduce(comm.Get_rank() + 1,
+                                  op=lambda a, b: a * b)
+        res = run_spmd(4, prog)
+        assert res.returns[0] == 24
+
+    def test_unknown_op(self):
+        def prog(comm):
+            return comm.allreduce(1, op="median")
+        with pytest.raises(Exception) as exc_info:
+            run_spmd(2, prog)
+        assert "median" in str(exc_info.value)
+
+    def test_buffer_reduce(self):
+        def prog(comm):
+            send = np.full(4, float(comm.Get_rank()))
+            recv = np.zeros(4)
+            comm.Reduce(send, recv, op="sum", root=1)
+            return recv.copy()
+        res = run_spmd(3, prog)
+        assert np.array_equal(res.returns[1], np.full(4, 3.0))
+        assert np.array_equal(res.returns[0], np.zeros(4))
+
+    def test_buffer_allreduce(self):
+        def prog(comm):
+            send = np.full(2, float(comm.Get_rank()))
+            recv = np.zeros(2)
+            comm.Allreduce(send, recv, op="max")
+            return recv.copy()
+        res = run_spmd(3, prog)
+        assert all(np.array_equal(r, np.full(2, 2.0)) for r in res.returns)
+
+    def test_reduce_result_is_private(self):
+        def prog(comm):
+            out = comm.allreduce(np.ones(2))
+            out += comm.Get_rank()
+            return float(out[0])
+        res = run_spmd(3, prog)
+        assert res.returns == [3.0, 4.0, 5.0]
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        def prog(comm):
+            return comm.gather(comm.Get_rank() ** 2, root=0)
+        res = run_spmd(4, prog)
+        assert res.returns[0] == [0, 1, 4, 9]
+        assert res.returns[1] is None
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(chr(ord("a") + comm.Get_rank()))
+        res = run_spmd(3, prog)
+        assert all(r == ["a", "b", "c"] for r in res.returns)
+
+    def test_scatter(self):
+        def prog(comm):
+            values = [i * 10 for i in range(comm.Get_size())] \
+                if comm.Get_rank() == 0 else None
+            return comm.scatter(values, root=0)
+        res = run_spmd(4, prog)
+        assert res.returns == [0, 10, 20, 30]
+
+    def test_scatter_wrong_length(self):
+        def prog(comm):
+            values = [1] if comm.Get_rank() == 0 else None
+            return comm.scatter(values, root=0)
+        with pytest.raises(Exception) as exc_info:
+            run_spmd(2, prog)
+        assert "scatter" in str(exc_info.value)
+
+    def test_buffer_gather(self):
+        def prog(comm):
+            send = np.full(3, float(comm.Get_rank()))
+            recv = np.zeros((comm.Get_size(), 3)) \
+                if comm.Get_rank() == 0 else np.zeros(0)
+            comm.Gather(send, recv if comm.Get_rank() == 0 else None, root=0)
+            return recv.copy() if comm.Get_rank() == 0 else None
+        res = run_spmd(3, prog)
+        assert np.array_equal(res.returns[0],
+                              np.array([[0.0] * 3, [1.0] * 3, [2.0] * 3]))
+
+    def test_buffer_allgather(self):
+        def prog(comm):
+            send = np.array([float(comm.Get_rank())])
+            recv = np.zeros((comm.Get_size(), 1))
+            comm.Allgather(send, recv)
+            return recv.ravel().tolist()
+        res = run_spmd(3, prog)
+        assert all(r == [0.0, 1.0, 2.0] for r in res.returns)
+
+    def test_buffer_scatter(self):
+        def prog(comm):
+            send = np.arange(8.0).reshape(4, 2) \
+                if comm.Get_rank() == 0 else None
+            recv = np.zeros(2)
+            comm.Scatter(send, recv, root=0)
+            return recv.tolist()
+        res = run_spmd(4, prog)
+        assert res.returns == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_alltoall(self):
+        def prog(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            return comm.alltoall([(rank, dst) for dst in range(size)])
+        res = run_spmd(3, prog)
+        # Rank r receives (src, r) from each src.
+        assert res.returns[1] == [(0, 1), (1, 1), (2, 1)]
+
+    def test_alltoall_wrong_length(self):
+        def prog(comm):
+            return comm.alltoall([1])
+        with pytest.raises(Exception):
+            run_spmd(3, prog)
+
+
+class TestBarrierAndMismatch:
+    def test_barrier_completes(self):
+        def prog(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+        res = run_spmd(5, prog)
+        assert all(res.returns)
+
+    def test_mismatched_collectives_abort(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.barrier()
+            else:
+                comm.bcast(1, root=1)
+        with pytest.raises((RankFailedError, MPIEmulatorError)):
+            run_spmd(2, prog, timeout=5)
+
+    def test_mismatched_roots_abort(self):
+        def prog(comm):
+            comm.bcast(1, root=comm.Get_rank())
+        with pytest.raises((RankFailedError, MPIEmulatorError)):
+            run_spmd(2, prog, timeout=5)
+
+    def test_invalid_root(self):
+        def prog(comm):
+            comm.bcast(1, root=9)
+        with pytest.raises((RankFailedError, ValidationError)):
+            run_spmd(2, prog, timeout=5)

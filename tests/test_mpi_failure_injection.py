@@ -1,0 +1,129 @@
+"""Emulator robustness under injected failures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, RankFailedError
+from repro.mpi import run_spmd
+
+
+class TestFailurePropagation:
+    def test_failure_wakes_blocked_receivers(self):
+        """A rank crash must unblock peers stuck in recv, and the crash
+        — not a deadlock — must be reported."""
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                raise RuntimeError("dies before sending")
+            comm.recv(source=0)
+        with pytest.raises(RankFailedError) as exc_info:
+            run_spmd(3, prog, timeout=10)
+        assert isinstance(exc_info.value.failures[0], RuntimeError)
+
+    def test_failure_wakes_blocked_collective(self):
+        def prog(comm):
+            if comm.Get_rank() == 1:
+                raise ValueError("skips the barrier")
+            comm.barrier()
+        with pytest.raises(RankFailedError):
+            run_spmd(4, prog, timeout=10)
+
+    def test_failure_inside_reduction_callable(self):
+        """A user-supplied op that raises surfaces as a rank failure."""
+        def bad_op(a, b):
+            raise ArithmeticError("bad op")
+
+        def prog(comm):
+            comm.allreduce(comm.Get_rank(), op=bad_op)
+        with pytest.raises(RankFailedError) as exc_info:
+            run_spmd(3, prog, timeout=10)
+        assert any(isinstance(e, ArithmeticError)
+                   for e in exc_info.value.failures.values())
+
+    def test_late_failure_after_successful_collectives(self):
+        def prog(comm):
+            for _ in range(5):
+                comm.allreduce(1)
+            if comm.Get_rank() == 2:
+                raise KeyError("late")
+            comm.barrier()
+        with pytest.raises(RankFailedError):
+            run_spmd(3, prog, timeout=10)
+
+    def test_partial_completion_keeps_no_state(self):
+        """After an aborted run a fresh run on a new world succeeds."""
+        def failing(comm):
+            if comm.Get_rank() == 0:
+                raise RuntimeError("x")
+            comm.barrier()
+        with pytest.raises(RankFailedError):
+            run_spmd(2, failing, timeout=10)
+        res = run_spmd(2, lambda comm: comm.allreduce(1))
+        assert res.returns == [2, 2]
+
+
+class TestDeadlockVariants:
+    def test_cyclic_blocking_recv(self):
+        """Everyone receives from the left, nobody ever sends."""
+        def prog(comm):
+            left = (comm.Get_rank() - 1) % comm.Get_size()
+            comm.recv(source=left)
+        with pytest.raises(DeadlockError):
+            run_spmd(3, prog, timeout=5)
+
+    def test_mismatched_barrier_counts(self):
+        def prog(comm):
+            comm.barrier()
+            if comm.Get_rank() != 0:
+                comm.barrier()  # rank 0 never joins
+        with pytest.raises(DeadlockError):
+            run_spmd(3, prog, timeout=5)
+
+    def test_slow_but_progressing_is_not_deadlock(self):
+        """Heavy but productive traffic must not trip the detector."""
+        def prog(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            total = 0
+            for round_ in range(30):
+                dest = (rank + 1) % size
+                comm.send(round_, dest=dest)
+                total += comm.recv(source=(rank - 1) % size)
+            return total
+        res = run_spmd(4, prog, timeout=30)
+        assert res.returns == [sum(range(30))] * 4
+
+
+class TestStress:
+    def test_many_ranks_collective_storm(self):
+        def prog(comm):
+            acc = 0.0
+            for _ in range(10):
+                acc += comm.allreduce(float(comm.Get_rank()))
+            return acc
+        res = run_spmd(32, prog, timeout=60)
+        expected = 10 * sum(range(32))
+        assert all(r == expected for r in res.returns)
+
+    def test_interleaved_p2p_and_collectives(self):
+        def prog(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            for i in range(5):
+                if rank == 0:
+                    for dst in range(1, size):
+                        comm.Send(np.full(4, float(i)), dest=dst, tag=i)
+                else:
+                    buf = np.empty(4)
+                    comm.Recv(buf, source=0, tag=i)
+                    assert buf[0] == float(i)
+                comm.barrier()
+            return comm.allreduce(1)
+        res = run_spmd(6, prog, timeout=30)
+        assert res.returns == [6] * 6
+
+    def test_return_values_not_aliased(self):
+        """Array results from collectives must be private per rank."""
+        def prog(comm):
+            out = comm.allreduce(np.ones(4))
+            out *= (comm.Get_rank() + 1)
+            return float(out.sum())
+        res = run_spmd(4, prog)
+        assert res.returns == [16.0, 32.0, 48.0, 64.0]

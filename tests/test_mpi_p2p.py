@@ -1,0 +1,174 @@
+"""Point-to-point semantics of the MPI emulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, MPIEmulatorError, ValidationError
+from repro.mpi import ANY_SOURCE, ANY_TAG, run_spmd
+
+
+class TestSendRecv:
+    def test_object_roundtrip(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.send({"a": 7, "b": [1, 2]}, dest=1, tag=3)
+                return None
+            return comm.recv(source=0, tag=3)
+        res = run_spmd(2, prog)
+        assert res.returns[1] == {"a": 7, "b": [1, 2]}
+
+    def test_payload_is_private_copy(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                payload = [1, 2, 3]
+                comm.send(payload, dest=1)
+                payload.append(99)  # must not affect the receiver
+                return None
+            return comm.recv(source=0)
+        res = run_spmd(2, prog)
+        assert res.returns[1] == [1, 2, 3]
+
+    def test_buffer_roundtrip(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.Send(np.arange(10.0), dest=1, tag=7)
+                return None
+            buf = np.empty(10)
+            comm.Recv(buf, source=0, tag=7)
+            return buf.sum()
+        res = run_spmd(2, prog)
+        assert res.returns[1] == 45.0
+
+    def test_message_ordering_fifo(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                for i in range(5):
+                    comm.send(i, dest=1, tag=0)
+                return None
+            return [comm.recv(source=0, tag=0) for _ in range(5)]
+        res = run_spmd(2, prog)
+        assert res.returns[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_selectivity(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.send("low", dest=1, tag=1)
+                comm.send("high", dest=1, tag=2)
+                return None
+            high = comm.recv(source=0, tag=2)
+            low = comm.recv(source=0, tag=1)
+            return (high, low)
+        res = run_spmd(2, prog)
+        assert res.returns[1] == ("high", "low")
+
+    def test_any_source_deterministic_lowest_first(self):
+        def prog(comm):
+            rank = comm.Get_rank()
+            if rank in (1, 2):
+                comm.send(rank, dest=0, tag=0)
+                return None
+            comm.barrier() if False else None
+            # Both messages are in flight before the receives because
+            # sends are buffered; lowest source must win.
+            first = comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            second = comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            return (first, second)
+
+        def prog_sync(comm):
+            rank = comm.Get_rank()
+            if rank in (1, 2):
+                comm.send(rank, dest=0, tag=0)
+            comm.barrier()
+            if rank == 0:
+                return (comm.recv(), comm.recv())
+            return None
+        res = run_spmd(3, prog_sync)
+        assert res.returns[0] == (1, 2)
+
+    def test_sendrecv(self):
+        def prog(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            right = (rank + 1) % size
+            left = (rank - 1) % size
+            return comm.sendrecv(rank, dest=right, source=left)
+        res = run_spmd(4, prog)
+        assert res.returns == [3, 0, 1, 2]
+
+    def test_recv_buffer_too_small(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.Send(np.arange(8.0), dest=1)
+                return None
+            buf = np.empty(4)
+            comm.Recv(buf, source=0)
+        with pytest.raises(Exception) as exc_info:
+            run_spmd(2, prog)
+        assert "too small" in str(exc_info.value)
+
+    def test_send_to_invalid_rank(self):
+        def prog(comm):
+            comm.send(1, dest=5)
+        with pytest.raises(Exception) as exc_info:
+            run_spmd(2, prog)
+        assert "dest" in str(exc_info.value)
+
+
+class TestNonBlocking:
+    def test_isend_irecv(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                req = comm.isend([1, 2], dest=1, tag=4)
+                req.wait()
+                return None
+            req = comm.irecv(source=0, tag=4)
+            return req.wait()
+        res = run_spmd(2, prog)
+        assert res.returns[1] == [1, 2]
+
+    def test_irecv_test_polling(self):
+        def prog(comm):
+            rank = comm.Get_rank()
+            if rank == 0:
+                comm.barrier()
+                comm.send("x", dest=1)
+                return None
+            req = comm.irecv(source=0)
+            done, _ = req.test()
+            assert not done  # nothing sent yet
+            comm.barrier()
+            return req.wait()
+        res = run_spmd(2, prog)
+        assert res.returns[1] == "x"
+
+    def test_request_completed_flag(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                req = comm.isend(1, dest=1)
+                assert req.completed is False
+                req.wait()
+                assert req.completed is True
+                return None
+            return comm.recv(source=0)
+        run_spmd(2, prog)
+
+
+class TestDeadlocks:
+    def test_recv_without_send_deadlocks(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.recv(source=1, tag=9)
+        with pytest.raises(DeadlockError):
+            run_spmd(2, prog, timeout=5)
+
+    def test_single_rank_self_deadlock(self):
+        def prog(comm):
+            comm.recv(source=0, tag=1)
+        with pytest.raises(DeadlockError):
+            run_spmd(1, prog, timeout=5)
+
+    def test_self_send_recv_works(self):
+        def prog(comm):
+            comm.send("me", dest=comm.Get_rank(), tag=1)
+            return comm.recv(source=comm.Get_rank(), tag=1)
+        res = run_spmd(1, prog)
+        assert res.returns[0] == "me"

@@ -1,0 +1,176 @@
+"""Sub-communicator (Split), probe and reduce_scatter tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mpi import run_spmd
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def prog(comm):
+            sub = comm.Split(color=comm.Get_rank() % 2)
+            return (sub.Get_size(), sub.Get_rank(),
+                    sub.allreduce(comm.Get_rank()))
+        res = run_spmd(6, prog)
+        # Even group {0,2,4}: sum 6; odd group {1,3,5}: sum 9.
+        assert res.returns[0] == (3, 0, 6)
+        assert res.returns[2] == (3, 1, 6)
+        assert res.returns[1] == (3, 0, 9)
+        assert res.returns[5] == (3, 2, 9)
+
+    def test_key_orders_ranks(self):
+        def prog(comm):
+            # Reverse ordering within one colour.
+            sub = comm.Split(color=0, key=-comm.Get_rank())
+            return sub.Get_rank()
+        res = run_spmd(4, prog)
+        assert res.returns == [3, 2, 1, 0]
+
+    def test_undefined_color(self):
+        def prog(comm):
+            sub = comm.Split(color=-1 if comm.Get_rank() == 0 else 0)
+            if sub is None:
+                return "excluded"
+            return sub.allreduce(1)
+        res = run_spmd(3, prog)
+        assert res.returns == ["excluded", 2, 2]
+
+    def test_p2p_within_subcomm_uses_local_ranks(self):
+        def prog(comm):
+            sub = comm.Split(color=comm.Get_rank() // 2)
+            # Local rank 0 sends to local rank 1 inside each pair.
+            if sub.Get_rank() == 0:
+                sub.send(("from-world", comm.Get_rank()), dest=1)
+                return None
+            return sub.recv(source=0)
+        res = run_spmd(4, prog)
+        assert res.returns[1] == ("from-world", 0)
+        assert res.returns[3] == ("from-world", 2)
+
+    def test_messages_do_not_cross_communicators(self):
+        def prog(comm):
+            rank = comm.Get_rank()
+            sub = comm.Split(color=rank % 2)
+            # World-comm message with same tag as the sub-comm one.
+            if rank == 0:
+                comm.send("world", dest=2, tag=5)
+                sub.send("sub", dest=1, tag=5)   # to world rank 2!
+            if rank == 2:
+                got_sub = sub.recv(source=0, tag=5)
+                got_world = comm.recv(source=0, tag=5)
+                return got_sub, got_world
+            return None
+        res = run_spmd(4, prog)
+        assert res.returns[2] == ("sub", "world")
+
+    def test_nested_split(self):
+        def prog(comm):
+            half = comm.Split(color=comm.Get_rank() // 4)
+            quarter = half.Split(color=half.Get_rank() // 2)
+            return quarter.allreduce(comm.Get_rank())
+        res = run_spmd(8, prog)
+        assert res.returns == [1, 1, 5, 5, 9, 9, 13, 13]
+
+    def test_subcomm_collectives_charge_group_clocks(self):
+        from repro.platform import platform_by_name
+        cluster = platform_by_name("2x8")
+
+        def prog(comm):
+            sub = comm.Split(color=0 if comm.Get_rank() < 8 else 1)
+            sub.allreduce(np.zeros(1000))
+            return comm.clock.time
+        res = run_spmd(0, prog, cluster=cluster)
+        # Each sub-group stays on one node -> intra-node collective cost.
+        assert all(t > 0 for t in res.returns)
+
+
+class TestDup:
+    def test_dup_isolates_tag_space(self):
+        def prog(comm):
+            lib = comm.Dup()
+            if comm.Get_rank() == 0:
+                comm.send("app", dest=1, tag=7)
+                lib.send("lib", dest=1, tag=7)
+                return None
+            # The library's receive must never steal the app message.
+            got_lib = lib.recv(source=0, tag=7)
+            got_app = comm.recv(source=0, tag=7)
+            return got_lib, got_app
+        res = run_spmd(2, prog)
+        assert res.returns[1] == ("lib", "app")
+
+    def test_dup_preserves_group(self):
+        def prog(comm):
+            dup = comm.Dup()
+            return (dup.Get_rank(), dup.Get_size(),
+                    dup.allreduce(comm.Get_rank()))
+        res = run_spmd(3, prog)
+        assert res.returns == [(0, 3, 3), (1, 3, 3), (2, 3, 3)]
+
+    def test_dup_of_split(self):
+        def prog(comm):
+            sub = comm.Split(color=comm.Get_rank() % 2)
+            dup = sub.Dup()
+            return dup.allreduce(1)
+        res = run_spmd(4, prog)
+        assert res.returns == [2, 2, 2, 2]
+
+
+class TestProbe:
+    def test_probe_true_after_send(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.send(1, dest=1, tag=3)
+                comm.barrier()
+                return None
+            before = comm.probe(source=0, tag=3)
+            comm.barrier()
+            after = comm.probe(source=0, tag=3)
+            wrong_tag = comm.probe(source=0, tag=9)
+            _ = comm.recv(source=0, tag=3)
+            drained = comm.probe(source=0, tag=3)
+            return before or after, wrong_tag, drained
+        res = run_spmd(2, prog)
+        assert res.returns[1] == (True, False, False)
+
+    def test_iprobe_alias(self):
+        def prog(comm):
+            return comm.Iprobe()
+        res = run_spmd(2, prog)
+        assert res.returns == [False, False]
+
+
+class TestReduceScatter:
+    def test_chunks_scattered(self):
+        def prog(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            values = [np.full(2, float(rank + dst))
+                      for dst in range(size)]
+            return comm.reduce_scatter(values)
+        res = run_spmd(3, prog)
+        # Rank r receives sum over src of (src + r) = 3r + 3.
+        for r in range(3):
+            assert np.array_equal(res.returns[r], np.full(2, 3.0 * r + 3))
+
+    def test_scalar_values(self):
+        def prog(comm):
+            size = comm.Get_size()
+            return comm.reduce_scatter([comm.Get_rank()] * size, op="max")
+        res = run_spmd(4, prog)
+        assert res.returns == [3, 3, 3, 3]
+
+    def test_wrong_length(self):
+        def prog(comm):
+            comm.reduce_scatter([1])
+        with pytest.raises(Exception):
+            run_spmd(3, prog)
+
+    def test_traffic_recorded(self):
+        def prog(comm):
+            comm.reduce_scatter([np.zeros(8)] * comm.Get_size())
+        res = run_spmd(4, prog)
+        tally = res.traffic.snapshot()["reduce_scatter"]
+        assert tally.calls == 1
+        assert tally.payload_words == 16

@@ -1,0 +1,113 @@
+"""Hypothesis property tests for the paper's core invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TransformedGramOperator,
+    exd_transform,
+    extend_transform,
+    memory_cost_per_node,
+    runtime_cost,
+)
+from repro.data.subspaces import union_of_subspaces
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.01, 0.5, allow_nan=False),
+       st.integers(10, 30))
+def test_transform_error_bound_always_holds(seed, eps, size):
+    """Eq. 1: ‖A − DC‖_F ≤ ε‖A‖_F whenever every column converged."""
+    a, _ = union_of_subspaces(16, 60, n_subspaces=2, dim=2, noise=0.02,
+                              seed=seed)
+    transform, stats = exd_transform(a, size, eps, seed=seed)
+    if stats.all_converged:
+        assert transform.transformation_error(a) <= eps + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_gram_operator_error_bounded_by_transform_error(seed):
+    """‖Ĝx − Gx‖ is controlled by the transform error: for unit x,
+    ‖ÂᵀÂ − AᵀA‖ ≤ (2ε + ε²)‖A‖² when ‖Â − A‖ ≤ ε‖A‖ (spectral ≤ F)."""
+    rng = np.random.default_rng(seed)
+    a, _ = union_of_subspaces(16, 50, n_subspaces=2, dim=2, noise=0.01,
+                              seed=seed)
+    eps = 0.1
+    transform, stats = exd_transform(a, 25, eps, seed=seed)
+    assume(stats.all_converged)
+    op = TransformedGramOperator(transform)
+    x = rng.standard_normal(50)
+    x /= np.linalg.norm(x)
+    diff = np.linalg.norm(op(x) - a.T @ (a @ x))
+    a_f = np.linalg.norm(a)
+    assert diff <= (2 * eps + eps * eps) * a_f * a_f + 1e-8
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 500), st.integers(1, 500), st.integers(0, 10_000),
+       st.integers(1, 64), st.floats(0, 100, allow_nan=False))
+def test_runtime_cost_monotone(m, l, nnz, p, rbf):
+    """Eq. 2 is monotone in nnz and (weakly) decreasing in P."""
+    base = runtime_cost(m, l, nnz, p, rbf)
+    assert runtime_cost(m, l, nnz + 10, p, rbf) > base
+    if p > 1:
+        assert runtime_cost(m, l, nnz, p + 1, rbf) <= base + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 200), st.integers(1, 200), st.integers(0, 10_000),
+       st.integers(1, 10_000), st.integers(1, 64))
+def test_memory_cost_decomposition(m, l, nnz, n, p):
+    """Eq. 4 equals dictionary words + distributed share exactly."""
+    cost = memory_cost_per_node(m, l, nnz, n, p)
+    assert cost == m * l + (nnz + n) / p
+    assert cost >= m * l
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 10))
+def test_evolve_append_preserves_error_bound(seed, n_new):
+    """Updating with same-subspace columns keeps the global ε bound
+    and never grows the dictionary."""
+    rng = np.random.default_rng(seed)
+    a, model = union_of_subspaces(16, 60, n_subspaces=2, dim=2,
+                                  noise=0.0, seed=seed)
+    transform, stats = exd_transform(a, 30, 0.05, seed=seed)
+    assume(stats.all_converged)
+    new_cols = np.stack(
+        [model.bases[i % 2] @ rng.standard_normal(2)
+         for i in range(n_new)], axis=1)
+    res = extend_transform(transform, new_cols, seed=seed)
+    combined = np.concatenate([a, new_cols], axis=1)
+    assert res.transform.transformation_error(combined) <= 0.05 + 1e-6
+    assert res.transform.n == 60 + n_new
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_distributed_gram_equals_serial(seed):
+    """Algorithm 2 computes exactly the serial operator, any data."""
+    from repro.core import run_distributed_gram
+    from repro.platform import platform_by_name
+    rng = np.random.default_rng(seed)
+    a, _ = union_of_subspaces(12, 40, n_subspaces=2, dim=2, noise=0.02,
+                              seed=seed)
+    l = int(rng.integers(5, 30))
+    transform, _ = exd_transform(a, l, 0.2, seed=seed)
+    x = rng.standard_normal(40)
+    serial = TransformedGramOperator(transform)(x)
+    dist, _ = run_distributed_gram(transform, x, platform_by_name("1x4"))
+    assert np.allclose(dist, serial, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.05, 0.4, allow_nan=False))
+def test_alpha_at_most_ambient_dimension(seed, eps):
+    """A code can never be denser than M (OMP residual hits zero by
+    then) — and on subspace data it is far below."""
+    a, model = union_of_subspaces(14, 50, n_subspaces=2, dim=3,
+                                  noise=0.05, seed=seed)
+    transform, _ = exd_transform(a, 28, eps, seed=seed)
+    assert transform.alpha <= a.shape[0] + 1e-9

@@ -1,0 +1,144 @@
+"""Tests for the iterative solvers (Adagrad, LASSO, Ridge, ElasticNet)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.solvers import (
+    AdagradState,
+    elastic_net_gd,
+    lasso_gd,
+    ridge_gd,
+    soft_threshold,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(71)
+    a = rng.standard_normal((60, 40))
+    x_true = np.zeros(40)
+    x_true[[2, 11, 30]] = [1.5, -2.0, 0.8]
+    y = a @ x_true
+    gram = a.T @ a
+    return a, y, x_true, gram
+
+
+class TestAdagrad:
+    def test_step_shrinks_with_history(self):
+        state = AdagradState(3, lr=1.0)
+        g = np.ones(3)
+        s1 = state.step(g)
+        s2 = state.step(g)
+        assert np.all(s2 < s1)
+
+    def test_rare_coordinates_get_larger_steps(self):
+        state = AdagradState(2, lr=1.0)
+        state.step(np.array([10.0, 0.1]))
+        rates = state.effective_rates()
+        assert rates[1] > rates[0]
+
+    def test_shape_validation(self):
+        state = AdagradState(3)
+        with pytest.raises(ValidationError):
+            state.step(np.ones(4))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            AdagradState(0)
+        with pytest.raises(ValidationError):
+            AdagradState(3, lr=-1)
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        x = np.array([3.0, -2.0, 0.5])
+        out = soft_threshold(x, 1.0)
+        assert np.allclose(out, [2.0, -1.0, 0.0])
+
+    def test_vector_thresholds(self):
+        x = np.array([3.0, 3.0])
+        out = soft_threshold(x, np.array([1.0, 2.5]))
+        assert np.allclose(out, [2.0, 0.5])
+
+
+class TestLassoGD:
+    def test_recovers_sparse_signal(self, problem):
+        a, y, x_true, gram = problem
+        res = lasso_gd(lambda v: gram @ v, a.T @ y, 40, lam=1e-3, lr=0.3,
+                       max_iter=800, tol=1e-9)
+        assert np.linalg.norm(a @ res.x - y) / np.linalg.norm(y) < 0.05
+        # Large true coefficients recovered; most others near zero.
+        assert np.argmax(np.abs(res.x)) == 11
+
+    def test_l1_produces_sparser_solutions(self, problem):
+        a, y, _, gram = problem
+        weak = lasso_gd(lambda v: gram @ v, a.T @ y, 40, lam=1e-4,
+                        lr=0.3, max_iter=300)
+        strong = lasso_gd(lambda v: gram @ v, a.T @ y, 40, lam=5.0,
+                          lr=0.3, max_iter=300)
+        nnz = lambda x: int(np.sum(np.abs(x) > 1e-6))
+        assert nnz(strong.x) <= nnz(weak.x)
+
+    def test_convergence_flag_and_history(self, problem):
+        a, y, _, gram = problem
+        res = lasso_gd(lambda v: gram @ v, a.T @ y, 40, lam=1e-3, lr=0.3,
+                       max_iter=2000, tol=1e-7)
+        assert res.converged
+        assert len(res.history) == res.iterations
+        assert res.history[-1] <= 1e-7
+
+    def test_objective_tracking(self, problem):
+        a, y, _, gram = problem
+        res = lasso_gd(lambda v: gram @ v, a.T @ y, 40, lam=1e-2, lr=0.3,
+                       max_iter=100, y_sq=float(y @ y))
+        objs = res.objective_history
+        assert len(objs) == res.iterations
+        assert objs[-1] < objs[0]
+
+    def test_callback_invoked(self, problem):
+        a, y, _, gram = problem
+        calls = []
+        lasso_gd(lambda v: gram @ v, a.T @ y, 40, lam=1e-3,
+                 max_iter=5, tol=0.0, callback=lambda it, x: calls.append(it))
+        assert calls == [1, 2, 3, 4, 5]
+
+    def test_warm_start(self, problem):
+        a, y, x_true, gram = problem
+        res = lasso_gd(lambda v: gram @ v, a.T @ y, 40, lam=1e-4, lr=0.1,
+                       max_iter=50, x0=x_true)
+        assert np.linalg.norm(a @ res.x - y) / np.linalg.norm(y) < 0.05
+
+    def test_validation(self, problem):
+        a, y, _, gram = problem
+        with pytest.raises(ValidationError):
+            lasso_gd(lambda v: gram @ v, a.T @ y, 40, lam=-1.0)
+        with pytest.raises(ValidationError):
+            lasso_gd(lambda v: gram @ v, np.ones(3), 40, lam=0.1)
+
+
+class TestRidgeAndElasticNet:
+    def test_ridge_matches_closed_form(self, problem):
+        a, y, _, gram = problem
+        lam = 0.5
+        res = ridge_gd(lambda v: gram @ v, a.T @ y, 40, lam=lam, lr=0.5,
+                       max_iter=5000, tol=1e-12)
+        closed = np.linalg.solve(gram + lam * np.eye(40), a.T @ y)
+        assert np.linalg.norm(res.x - closed) / np.linalg.norm(closed) < 0.05
+
+    def test_elastic_net_between_lasso_and_ridge(self, problem):
+        a, y, _, gram = problem
+        res = elastic_net_gd(lambda v: gram @ v, a.T @ y, 40, lam1=1e-3,
+                             lam2=0.1, lr=0.3, max_iter=500)
+        assert np.linalg.norm(a @ res.x - y) / np.linalg.norm(y) < 0.1
+
+    def test_elastic_net_validation(self, problem):
+        a, y, _, gram = problem
+        with pytest.raises(ValidationError):
+            elastic_net_gd(lambda v: gram @ v, a.T @ y, 40, lam1=-1,
+                           lam2=0.0)
+
+    def test_ridge_validation(self, problem):
+        a, y, _, gram = problem
+        with pytest.raises(ValidationError):
+            ridge_gd(lambda v: gram @ v, a.T @ y, 40, lam=-0.1)

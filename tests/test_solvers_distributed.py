@@ -1,0 +1,102 @@
+"""Distributed solver tests: LASSO and Power method on the emulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dense import LocalDenseGramWorker
+from repro.core import LocalGramWorker, exd_transform
+from repro.solvers import distributed_lasso, distributed_power_method, power_method_transformed
+from repro.solvers.lasso import lasso_gd
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(81)
+    from repro.data.subspaces import union_of_subspaces
+    a, _ = union_of_subspaces(40, 200, n_subspaces=3, dim=3, noise=0.01,
+                              seed=81)
+    x_true = np.zeros(200)
+    x_true[[5, 60, 150]] = [2.0, -1.0, 1.5]
+    y = a @ x_true
+    return a, y, x_true
+
+
+class TestDistributedLasso:
+    def test_dense_backend_matches_serial(self, problem, small_cluster):
+        a, y, _ = problem
+
+        def factory(comm):
+            return LocalDenseGramWorker(comm, a)
+        dist, spmd = distributed_lasso(small_cluster, factory, y, 1e-3,
+                                       lr=0.3, max_iter=150, tol=0.0)
+        serial = lasso_gd(lambda v: a.T @ (a @ v), a.T @ y, a.shape[1],
+                          1e-3, lr=0.3, max_iter=150, tol=0.0)
+        assert np.allclose(dist.x, serial.x, atol=1e-8)
+        assert spmd.simulated_time > 0
+
+    def test_transform_backend_converges(self, problem, small_cluster):
+        a, y, _ = problem
+        t, _ = exd_transform(a, 80, 0.02, seed=0)
+        d, c = t.dictionary.atoms, t.coefficients
+
+        def factory(comm):
+            return LocalGramWorker(comm, d, c)
+        res, _ = distributed_lasso(small_cluster, factory, y, 1e-3,
+                                   lr=0.3, max_iter=300, tol=1e-8)
+        assert np.linalg.norm(a @ res.x - y) / np.linalg.norm(y) < 0.1
+
+    def test_rank_count_invariance(self, problem):
+        """Gradient descent is deterministic: 1 and 16 ranks agree."""
+        from repro.platform import platform_by_name
+        a, y, _ = problem
+
+        def factory16(comm):
+            return LocalDenseGramWorker(comm, a)
+        r1, _ = distributed_lasso(platform_by_name("1x1"), factory16, y,
+                                  1e-3, lr=0.3, max_iter=60, tol=0.0)
+        r16, _ = distributed_lasso(platform_by_name("2x8"), factory16, y,
+                                   1e-3, lr=0.3, max_iter=60, tol=0.0)
+        assert np.allclose(r1.x, r16.x, atol=1e-8)
+
+
+class TestDistributedPowerMethod:
+    def test_matches_exact_spectrum(self, problem, small_cluster):
+        a, _, _ = problem
+
+        def factory(comm):
+            return LocalDenseGramWorker(comm, a)
+        res = distributed_power_method(small_cluster, factory, 3,
+                                       tol=1e-10, max_iter=500, seed=0)
+        exact = np.linalg.svd(a, compute_uv=False)[:3] ** 2
+        assert np.allclose(res.eigenvalues, exact, rtol=1e-3)
+        assert res.eigenvectors.shape == (a.shape[1], 3)
+        assert res.spmd.simulated_time > 0
+
+    def test_transform_flavour(self, problem, small_cluster):
+        a, _, _ = problem
+        t, _ = exd_transform(a, 100, 0.01, seed=0)
+        res = power_method_transformed(t, small_cluster, 3, tol=1e-10,
+                                       max_iter=500, seed=0)
+        exact = np.linalg.svd(a, compute_uv=False)[:3] ** 2
+        assert np.allclose(res.eigenvalues, exact, rtol=0.1)
+
+    def test_eigenvectors_orthonormal(self, problem, small_cluster):
+        a, _, _ = problem
+
+        def factory(comm):
+            return LocalDenseGramWorker(comm, a)
+        res = distributed_power_method(small_cluster, factory, 4,
+                                       tol=1e-10, max_iter=500, seed=0)
+        v = res.eigenvectors
+        assert np.allclose(v.T @ v, np.eye(4), atol=1e-4)
+
+    def test_eigenvalues_descending(self, problem, small_cluster):
+        a, _, _ = problem
+
+        def factory(comm):
+            return LocalDenseGramWorker(comm, a)
+        res = distributed_power_method(small_cluster, factory, 4,
+                                       tol=1e-9, max_iter=500, seed=0)
+        vals = res.eigenvalues
+        assert all(vals[i] >= vals[i + 1] - 1e-6 * vals[0]
+                   for i in range(len(vals) - 1))

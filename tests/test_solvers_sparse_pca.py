@@ -1,0 +1,105 @@
+"""Sparse-PCA (truncated power method) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.solvers.sparse_pca import (
+    hard_truncate,
+    sparse_principal_components,
+    truncated_power_method,
+)
+
+
+@pytest.fixture(scope="module")
+def sparse_spike_problem():
+    """Covariance with a planted 4-sparse dominant direction."""
+    rng = np.random.default_rng(7)
+    n = 30
+    spike = np.zeros(n)
+    spike[[2, 9, 17, 25]] = [0.6, -0.5, 0.4, 0.48]
+    spike /= np.linalg.norm(spike)
+    gram = 25.0 * np.outer(spike, spike) + np.eye(n)
+    noise = rng.standard_normal((n, n)) * 0.05
+    gram += noise @ noise.T
+    return gram, spike
+
+
+class TestHardTruncate:
+    def test_keeps_largest(self):
+        x = np.array([3.0, -5.0, 1.0, 4.0])
+        out = hard_truncate(x, 2)
+        assert out.tolist() == [0.0, -5.0, 0.0, 4.0]
+
+    def test_k_geq_n_is_copy(self):
+        x = np.array([1.0, 2.0])
+        out = hard_truncate(x, 5)
+        assert np.array_equal(out, x)
+        out[0] = 9.0
+        assert x[0] == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            hard_truncate(np.ones(3), 0)
+
+
+class TestTruncatedPowerMethod:
+    def test_recovers_planted_support(self, sparse_spike_problem):
+        gram, spike = sparse_spike_problem
+        lam, vec, _ = truncated_power_method(lambda x: gram @ x, 30, 4,
+                                             seed=0)
+        assert set(np.nonzero(vec)[0]) == set(np.nonzero(spike)[0])
+        assert abs(abs(float(vec @ spike)) - 1.0) < 0.02
+        assert lam > 20.0
+
+    def test_result_is_k_sparse_unit(self, sparse_spike_problem):
+        gram, _ = sparse_spike_problem
+        _, vec, _ = truncated_power_method(lambda x: gram @ x, 30, 4,
+                                           seed=1)
+        assert np.count_nonzero(vec) <= 4
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_k_equals_n_matches_dense_pca(self, sparse_spike_problem):
+        gram, _ = sparse_spike_problem
+        lam, _, _ = truncated_power_method(lambda x: gram @ x, 30, 30,
+                                           seed=0, tol=1e-12,
+                                           max_iter=2000)
+        exact = float(np.linalg.eigvalsh(gram)[-1])
+        assert lam == pytest.approx(exact, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            truncated_power_method(lambda x: x, 5, 6)
+
+    def test_zero_operator(self):
+        lam, _, _ = truncated_power_method(
+            lambda x: np.zeros_like(x), 5, 2, seed=0)
+        assert lam == 0.0
+
+
+class TestSparseComponents:
+    def test_multiple_components_decreasing(self, sparse_spike_problem):
+        gram, _ = sparse_spike_problem
+        values, comps = sparse_principal_components(
+            lambda x: gram @ x, 30, 3, 4, seed=0)
+        assert comps.shape == (30, 3)
+        assert values[0] >= values[1] - 1e-6
+        for j in range(3):
+            assert np.count_nonzero(comps[:, j]) <= 4
+
+    def test_on_exd_transform(self, union_data):
+        """Sparse PCA through the transformed Gram operator."""
+        from repro.core import TransformedGramOperator, exd_transform
+        a, _ = union_data
+        t, _ = exd_transform(a, 40, 0.02, seed=0)
+        op = TransformedGramOperator(t)
+        values, comps = sparse_principal_components(op, a.shape[1], 2,
+                                                    10, seed=0)
+        dense_top = float(np.linalg.eigvalsh(a.T @ a)[-1])
+        # Sparse component explains a healthy share of the top variance.
+        assert values[0] >= 0.3 * dense_top
+        assert np.count_nonzero(comps[:, 0]) <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            sparse_principal_components(lambda x: x, 5, 6, 2)

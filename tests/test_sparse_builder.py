@@ -1,0 +1,81 @@
+"""Unit tests for repro.sparse.builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sparse import ColumnBuilder
+
+
+class TestColumnBuilder:
+    def test_basic_build(self):
+        b = ColumnBuilder(nrows=4)
+        b.add_column([0, 2], [1.0, -1.0])
+        b.add_column([], [])
+        b.add_column([3], [5.0])
+        c = b.finalize()
+        expected = np.zeros((4, 3))
+        expected[0, 0], expected[2, 0], expected[3, 2] = 1.0, -1.0, 5.0
+        assert np.array_equal(c.to_dense(), expected)
+
+    def test_sorts_rows(self):
+        b = ColumnBuilder(nrows=5)
+        b.add_column([4, 1, 3], [4.0, 1.0, 3.0])
+        c = b.finalize()
+        assert c.indices.tolist() == [1, 3, 4]
+        assert c.data.tolist() == [1.0, 3.0, 4.0]
+
+    def test_growth_beyond_capacity(self):
+        b = ColumnBuilder(nrows=10, capacity=2)
+        for j in range(20):
+            b.add_column([j % 10], [float(j)])
+        c = b.finalize()
+        assert c.nnz == 20 and c.shape == (10, 20)
+
+    def test_add_dense_column(self):
+        b = ColumnBuilder(nrows=3)
+        b.add_dense_column([0.0, 2.0, 0.0])
+        c = b.finalize()
+        assert c.nnz == 1 and c.column(0)[1] == 2.0
+
+    def test_dense_column_tol(self):
+        b = ColumnBuilder(nrows=2)
+        b.add_dense_column([1e-9, 1.0], tol=1e-6)
+        assert b.finalize().nnz == 1
+
+    def test_duplicate_rows_rejected(self):
+        b = ColumnBuilder(nrows=4)
+        with pytest.raises(ValidationError, match="duplicate"):
+            b.add_column([1, 1], [1.0, 2.0])
+
+    def test_out_of_range_rejected(self):
+        b = ColumnBuilder(nrows=4)
+        with pytest.raises(ValidationError):
+            b.add_column([4], [1.0])
+
+    def test_double_finalize_rejected(self):
+        b = ColumnBuilder(nrows=2)
+        b.finalize()
+        with pytest.raises(ValidationError):
+            b.finalize()
+
+    def test_add_after_finalize_rejected(self):
+        b = ColumnBuilder(nrows=2)
+        b.finalize()
+        with pytest.raises(ValidationError):
+            b.add_column([0], [1.0])
+
+    def test_mismatched_lengths(self):
+        b = ColumnBuilder(nrows=4)
+        with pytest.raises(ValidationError):
+            b.add_column([0, 1], [1.0])
+
+    def test_invalid_nrows(self):
+        with pytest.raises(ValidationError):
+            ColumnBuilder(nrows=0)
+
+    def test_counters(self):
+        b = ColumnBuilder(nrows=4)
+        b.add_column([0], [1.0])
+        b.add_column([1, 2], [1.0, 2.0])
+        assert b.ncols == 2 and b.nnz == 3

@@ -1,0 +1,74 @@
+"""Unit tests for repro.sparse.csr."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture()
+def sample_dense():
+    return np.array([
+        [0.0, 2.0, 0.0],
+        [1.0, 0.0, 0.0],
+        [0.0, 3.0, 4.0],
+        [0.0, 0.0, 0.0],
+    ])
+
+
+@pytest.fixture()
+def sample_csr(sample_dense):
+    return CSRMatrix.from_dense(sample_dense)
+
+
+class TestConstruction:
+    def test_roundtrip(self, sample_csr, sample_dense):
+        assert np.array_equal(sample_csr.to_dense(), sample_dense)
+        assert sample_csr.nnz == 4
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix.from_dense([1.0, 2.0])
+
+    def test_validation_col_out_of_range(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix([1.0], [7], [0, 1], (1, 3))
+
+    def test_validation_indptr_length(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix([1.0], [0], [0, 1], (2, 3))
+
+
+class TestOps:
+    def test_row(self, sample_csr, sample_dense):
+        for i in range(4):
+            assert np.array_equal(sample_csr.row(i), sample_dense[i])
+
+    def test_row_out_of_range(self, sample_csr):
+        with pytest.raises(ValidationError):
+            sample_csr.row(4)
+
+    def test_slice_rows(self, sample_csr, sample_dense):
+        sub = sample_csr.slice_rows(1, 3)
+        assert np.array_equal(sub.to_dense(), sample_dense[1:3])
+
+    def test_matvec(self, sample_csr, sample_dense, rng):
+        x = rng.standard_normal(3)
+        assert np.allclose(sample_csr.matvec(x), sample_dense @ x)
+
+    def test_rmatvec(self, sample_csr, sample_dense, rng):
+        y = rng.standard_normal(4)
+        assert np.allclose(sample_csr.rmatvec(y), sample_dense.T @ y)
+
+    def test_matmul_2d(self, sample_csr, sample_dense, rng):
+        x = rng.standard_normal((3, 2))
+        assert np.allclose(sample_csr @ x, sample_dense @ x)
+
+    def test_transpose_csc_roundtrip(self, sample_csr, sample_dense):
+        csc = sample_csr.transpose_csc()
+        assert np.array_equal(csc.to_dense(), sample_dense.T)
+        assert np.array_equal(csc.transpose_csr().to_dense(), sample_dense)
+
+    def test_nbytes(self, sample_csr):
+        assert sample_csr.nbytes > 0

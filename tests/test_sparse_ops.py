@@ -1,0 +1,92 @@
+"""Unit tests for repro.sparse.ops — kernels and FLOP counting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sparse import (
+    CSCMatrix,
+    FlopCount,
+    counted_dense_matvec,
+    counted_dense_rmatvec,
+    counted_matvec,
+    counted_rmatvec,
+    csc_matvec,
+    csc_rmatvec,
+)
+
+
+@pytest.fixture()
+def mats(rng):
+    dense = rng.standard_normal((6, 9))
+    dense[np.abs(dense) < 0.8] = 0.0
+    return dense, CSCMatrix.from_dense(dense)
+
+
+class TestKernels:
+    def test_matvec_matches_dense(self, mats, rng):
+        dense, c = mats
+        x = rng.standard_normal(9)
+        assert np.allclose(csc_matvec(c, x), dense @ x)
+
+    def test_rmatvec_matches_dense(self, mats, rng):
+        dense, c = mats
+        y = rng.standard_normal(6)
+        assert np.allclose(csc_rmatvec(c, y), dense.T @ y)
+
+    def test_empty_matrix(self):
+        c = CSCMatrix.zeros((4, 3))
+        assert np.array_equal(csc_matvec(c, np.ones(3)), np.zeros(4))
+        assert np.array_equal(csc_rmatvec(c, np.ones(4)), np.zeros(3))
+
+    def test_shape_errors(self, mats):
+        _, c = mats
+        with pytest.raises(ValidationError):
+            csc_matvec(c, np.ones(5))
+        with pytest.raises(ValidationError):
+            csc_rmatvec(c, np.ones(5))
+
+
+class TestFlopCounting:
+    def test_counted_matvec_flops(self, mats, rng):
+        dense, c = mats
+        x = rng.standard_normal(9)
+        out, flops = counted_matvec(c, x)
+        assert np.allclose(out, dense @ x)
+        assert flops.mults == c.nnz
+
+    def test_counted_rmatvec_flops(self, mats, rng):
+        dense, c = mats
+        y = rng.standard_normal(6)
+        out, flops = counted_rmatvec(c, y)
+        assert np.allclose(out, dense.T @ y)
+        assert flops.mults == c.nnz
+
+    def test_dense_matvec_flops(self, rng):
+        d = rng.standard_normal((5, 7))
+        v = rng.standard_normal(7)
+        out, flops = counted_dense_matvec(d, v)
+        assert np.allclose(out, d @ v)
+        assert flops.mults == 35 and flops.adds == 5 * 6
+
+    def test_dense_rmatvec_flops(self, rng):
+        d = rng.standard_normal((5, 7))
+        w = rng.standard_normal(5)
+        out, flops = counted_dense_rmatvec(d, w)
+        assert np.allclose(out, d.T @ w)
+        assert flops.mults == 35 and flops.adds == 4 * 7
+
+    def test_dense_shape_errors(self, rng):
+        d = rng.standard_normal((5, 7))
+        with pytest.raises(ValidationError):
+            counted_dense_matvec(d, np.ones(5))
+        with pytest.raises(ValidationError):
+            counted_dense_rmatvec(d, np.ones(7))
+
+
+class TestFlopCount:
+    def test_total_and_add(self):
+        a = FlopCount(mults=3, adds=2)
+        b = FlopCount(mults=1, adds=1)
+        assert a.total == 5
+        assert (a + b).mults == 4 and (a + b).adds == 3

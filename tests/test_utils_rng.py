@@ -1,0 +1,76 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    derive_seed,
+    permutation_without,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_from_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=5)
+        b = as_generator(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, 1, 2) == derive_seed(5, 1, 2)
+
+    def test_key_sensitivity(self):
+        assert derive_seed(5, 1, 2) != derive_seed(5, 2, 1)
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(5, 1) != derive_seed(6, 1)
+
+    def test_none_seed_works(self):
+        assert isinstance(derive_seed(None, 3), int)
+
+    def test_from_generator_consumes_state(self):
+        gen = np.random.default_rng(0)
+        s1 = derive_seed(gen, 1)
+        s2 = derive_seed(gen, 1)
+        assert s1 != s2  # generator advanced
+
+
+class TestSpawnGenerators:
+    def test_count_and_independence(self):
+        gens = spawn_generators(9, 3)
+        assert len(gens) == 3
+        draws = [g.integers(0, 2**30) for g in gens]
+        assert len(set(draws)) == 3
+
+    def test_deterministic(self):
+        a = [g.integers(0, 2**30) for g in spawn_generators(9, 2)]
+        b = [g.integers(0, 2**30) for g in spawn_generators(9, 2)]
+        assert a == b
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestPermutationWithout:
+    def test_excludes(self):
+        rng = np.random.default_rng(0)
+        out = permutation_without(rng, 10, 5, exclude=[0, 1, 2])
+        assert len(out) == 5
+        assert not set(out) & {0, 1, 2}
+        assert len(set(out.tolist())) == 5
+
+    def test_too_many_requested(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            permutation_without(rng, 4, 4, exclude=[0])

@@ -1,0 +1,53 @@
+"""Unit tests for repro.utils.timer and repro.utils.tables."""
+
+import time
+
+import pytest
+
+from repro.utils.tables import format_table
+from repro.utils.timer import Timer
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first >= 0.01
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        with t:
+            assert t.running
+        assert not t.running
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["name", "value"],
+                           [["a", 1], ["bbbb", 2.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert "bbbb" in out and "2.5" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_rendering(self):
+        out = format_table(["v"], [[1e-9], [123456.0], [0.0]])
+        assert "1.000e-09" in out
+        assert "1.235e+05" in out
+        assert "\n0" in out

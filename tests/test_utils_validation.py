@@ -1,0 +1,98 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_matrix,
+    check_positive_int,
+    check_vector,
+)
+
+
+class TestCheckMatrix:
+    def test_accepts_lists(self):
+        out = check_matrix([[1, 2], [3, 4]])
+        assert out.shape == (2, 2) and out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            check_matrix([1.0, 2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            check_matrix([[np.nan, 1.0]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            check_matrix(np.empty((0, 3)))
+
+    def test_allow_empty(self):
+        out = check_matrix(np.empty((0, 3)), allow_empty=True)
+        assert out.shape == (0, 3)
+
+    def test_returns_contiguous(self):
+        a = np.arange(12.0).reshape(3, 4).T  # non-contiguous view
+        assert check_matrix(a).flags["C_CONTIGUOUS"]
+
+
+class TestCheckVector:
+    def test_size_enforced(self):
+        with pytest.raises(ValidationError, match="length 3"):
+            check_vector([1.0, 2.0], size=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            check_vector([[1.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_vector([np.inf])
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "x")
+
+    def test_minimum(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            check_positive_int("many", "x")
+
+
+class TestCheckFraction:
+    def test_open_low_closed_high(self):
+        assert check_fraction(1.0, "eps") == 1.0
+        with pytest.raises(ValidationError):
+            check_fraction(0.0, "eps")
+
+    def test_inclusive_low(self):
+        assert check_fraction(0.0, "eps", inclusive_low=True) == 0.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_fraction(1.5, "eps")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_fraction(float("nan"), "eps")
+
+
+class TestCheckIn:
+    def test_membership(self):
+        assert check_in("a", "x", ("a", "b")) == "a"
+        with pytest.raises(ValidationError):
+            check_in("c", "x", ("a", "b"))
