@@ -59,12 +59,13 @@ def eigenvalue_error(estimated, exact) -> float:
 def run_pca(a, k: int = 10, *, method: str = "extdict", eps: float = 0.1,
             dictionary_size: int | None = None, cluster=None,
             tol: float = 1e-7, max_iter: int = 200,
-            seed=0) -> PCARunResult:
+            seed=0, workers: int | None = None) -> PCARunResult:
     """Top-k PCA with the Power method.
 
     ``method`` is "extdict" (Gram updates on ``(DC)ᵀDC``) or "dense"
     (``AᵀA``).  With a cluster the distributed Power method runs on the
-    emulator; otherwise the serial loop is used.
+    emulator; otherwise the serial loop is used.  ``workers``
+    parallelises the ExD preprocessing encode on the host.
     """
     check_in(method, "method", ("extdict", "dense"))
     a = check_matrix(a, "A")
@@ -73,7 +74,8 @@ def run_pca(a, k: int = 10, *, method: str = "extdict", eps: float = 0.1,
 
     if method == "extdict":
         size = dictionary_size or min(max(a.shape[0] // 2, 64), a.shape[1])
-        transform, stats = exd_transform(a, size, eps, seed=seed)
+        transform, stats = exd_transform(a, size, eps, seed=seed,
+                                         workers=workers)
         preprocessing = {"dictionary_size": transform.l,
                          "alpha": transform.alpha,
                          "omp_iterations": stats.omp_iterations}

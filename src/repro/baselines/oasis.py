@@ -20,14 +20,15 @@ import numpy as np
 from repro.core.dictionary import Dictionary
 from repro.core.transform import TransformedData
 from repro.errors import DictionaryError
-from repro.linalg.pseudo_inverse import least_squares_coefficients
+from repro.linalg.parallel_omp import parallel_least_squares
 from repro.sparse.csc import CSCMatrix
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_fraction, check_matrix, check_positive_int
 
 
 def oasis_transform(a, eps: float, *, max_size: int | None = None,
-                    seed=None, size: int | None = None) -> TransformedData:
+                    seed=None, size: int | None = None,
+                    workers: int | None = None) -> TransformedData:
     """Greedy adaptive column selection meeting the ε criterion.
 
     Parameters
@@ -35,6 +36,9 @@ def oasis_transform(a, eps: float, *, max_size: int | None = None,
     size:
         Stop after exactly ``size`` selections instead of at the error
         target (used by comparison sweeps).
+    workers:
+        Column-chunk the final dense ``C = D⁺A`` solve over a worker
+        pool (the greedy selection itself is inherently sequential).
 
     Raises
     ------
@@ -86,7 +90,7 @@ def oasis_transform(a, eps: float, *, max_size: int | None = None,
 
     idx = np.sort(np.asarray(selected, dtype=np.int64))
     dictionary = Dictionary(a[:, idx].copy(), idx)
-    coef = least_squares_coefficients(dictionary.atoms, a)
+    coef = parallel_least_squares(dictionary.atoms, a, workers=workers)
     c = CSCMatrix.from_dense(coef)
     return TransformedData(dictionary=dictionary, coefficients=c, eps=eps,
                            method="oasis",

@@ -15,19 +15,21 @@ from repro.core.dictionary import sample_dictionary
 from repro.core.transform import TransformedData
 from repro.errors import DictionaryError
 from repro.linalg.norms import relative_frobenius_error
-from repro.linalg.pseudo_inverse import least_squares_coefficients
+from repro.linalg.parallel_omp import parallel_least_squares
 from repro.sparse.csc import CSCMatrix
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_fraction, check_matrix, check_positive_int
 
 
-def _dense_error(a: np.ndarray, d: np.ndarray) -> tuple[np.ndarray, float]:
-    coef = least_squares_coefficients(d, a)
+def _dense_error(a: np.ndarray, d: np.ndarray,
+                 workers: int | None = None) -> tuple[np.ndarray, float]:
+    coef = parallel_least_squares(d, a, workers=workers)
     return coef, relative_frobenius_error(a, d @ coef)
 
 
 def rcss_transform(a, eps: float, *, size: int | None = None, seed=None,
-                   max_size: int | None = None) -> TransformedData:
+                   max_size: int | None = None,
+                   workers: int | None = None) -> TransformedData:
     """Build an RCSS projection meeting the ε criterion.
 
     Parameters
@@ -36,6 +38,9 @@ def rcss_transform(a, eps: float, *, size: int | None = None, seed=None,
         Fix L instead of searching for the smallest feasible one.
     max_size:
         Upper bound for the search (defaults to N).
+    workers:
+        Column-chunk the dense ``C = D⁺A`` solves over a worker pool
+        (the ``O(L·N)``-dense cost that dominates each probe).
 
     Raises
     ------
@@ -50,7 +55,7 @@ def rcss_transform(a, eps: float, *, size: int | None = None, seed=None,
     if size is not None:
         size = check_positive_int(size, "size")
         dictionary = sample_dictionary(a, size, seed=seed)
-        coef, err = _dense_error(a, dictionary.atoms)
+        coef, err = _dense_error(a, dictionary.atoms, workers)
         return _pack(dictionary, coef, eps, err)
 
     # Doubling search for the smallest feasible L (freshly sampled each
@@ -59,7 +64,7 @@ def rcss_transform(a, eps: float, *, size: int | None = None, seed=None,
     best = None
     while True:
         dictionary = sample_dictionary(a, l, seed=derive_seed(seed, l))
-        coef, err = _dense_error(a, dictionary.atoms)
+        coef, err = _dense_error(a, dictionary.atoms, workers)
         if err <= eps + 1e-12:
             hi, best = l, (dictionary, coef, err)
             break
@@ -73,7 +78,7 @@ def rcss_transform(a, eps: float, *, size: int | None = None, seed=None,
     while hi - lo > max(1, hi // 8):
         mid = (lo + hi) // 2
         dictionary = sample_dictionary(a, mid, seed=derive_seed(seed, mid))
-        coef, err = _dense_error(a, dictionary.atoms)
+        coef, err = _dense_error(a, dictionary.atoms, workers)
         if err <= eps + 1e-12:
             hi, best = mid, (dictionary, coef, err)
         else:

@@ -54,6 +54,10 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
                         help="random seed (default: 0)")
     parser.add_argument("--eps", type=float, default=0.1,
                         help="transformation error tolerance (default: 0.1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel encode/tuning workers: omit for "
+                             "serial, -1 for all cores (results are "
+                             "identical for every value)")
 
 
 def cmd_info(_args) -> int:
@@ -79,7 +83,7 @@ def cmd_tune(args) -> int:
     model = CostModel(cluster)
     result = tune_dictionary_size(a, args.eps, model,
                                   objective=args.objective,
-                                  seed=args.seed)
+                                  seed=args.seed, workers=args.workers)
     rows = [[l, f"{alpha:.2f}", f"{nnz:.0f}", f"{cost:.4g}",
              "<-- L*" if l == result.best_size else ""]
             for l, alpha, nnz, cost in result.table]
@@ -97,11 +101,13 @@ def cmd_transform(args) -> int:
     a = _load_matrix(args)
     if args.size is not None:
         transform, stats = exd_transform(a, args.size, args.eps,
-                                         seed=args.seed)
+                                         seed=args.seed,
+                                         workers=args.workers)
     else:
         ext = ExtDict(eps=args.eps,
                       cluster=platform_by_name(args.platform),
-                      objective=args.objective, seed=args.seed).fit(a)
+                      objective=args.objective, seed=args.seed,
+                      workers=args.workers).fit(a)
         transform, stats = ext.transform_, ext.stats_
     path = save_transform(transform, args.out)
     print(f"data {a.shape[0]}x{a.shape[1]} -> D {transform.m}x{transform.l}"
@@ -117,7 +123,7 @@ def cmd_pca(args) -> int:
     a = _load_matrix(args)
     cluster = platform_by_name(args.platform) if args.platform else None
     res = run_pca(a, args.k, method="extdict", eps=args.eps,
-                  cluster=cluster, seed=args.seed)
+                  cluster=cluster, seed=args.seed, workers=args.workers)
     exact = exact_gram_eigenvalues(a, args.k)
     rows = [[i + 1, f"{exact[i]:.4g}", f"{res.eigenvalues[i]:.4g}"]
             for i in range(args.k)]

@@ -5,16 +5,26 @@ per-column density of the ExD code is invariant under random column
 subsampling — ``E[α(L, A_s, ε)] = E[α(L, A, ε)]`` — so the curve can be
 characterised from small nested subsets ``A₁ ⊂ A₂ ⊂ …`` instead of the
 full matrix (Figs. 4 and 6).
+
+All estimators accept a ``workers`` knob: the independent
+``(size, trial)`` ExD runs are farmed out to the fork pool of
+:mod:`repro.linalg.parallel_omp` (embarrassingly parallel), and when
+there is only a single run to perform the workers are spent inside it on
+the column-parallel encode instead.  Either way every trial keeps its
+serial seed derivation, so the reported α values are identical to the
+serial path.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.exd import exd_transform
 from repro.errors import ValidationError
+from repro.linalg.parallel_omp import fork_map, resolve_workers
 from repro.utils.rng import as_generator, derive_seed
 from repro.utils.validation import check_fraction, check_matrix, check_positive_int
 
@@ -49,36 +59,86 @@ class AlphaEstimate:
         return float(np.mean(self.errors)) if self.errors else float("nan")
 
 
+def _alpha_task(shared, payload):
+    """One independent ExD trial (fork-pool worker body)."""
+    a, eps, compute_error = shared
+    size, seed = payload
+    transform, stats = exd_transform(a, size, eps, seed=seed)
+    err = transform.transformation_error(a) if compute_error else None
+    return transform.alpha, err, stats.all_converged
+
+
+def _run_alpha_tasks(a, payloads, eps, *, compute_error, workers):
+    """Run ``(size, seed)`` ExD trials, parallel across trials.
+
+    With a single task the workers are redirected into the trial's own
+    column-parallel encode; results always come back in payload order.
+    """
+    nworkers = resolve_workers(workers)
+    if len(payloads) == 1 and nworkers > 1:
+        size, seed = payloads[0]
+        transform, stats = exd_transform(a, size, eps, seed=seed,
+                                         workers=workers)
+        err = transform.transformation_error(a) if compute_error else None
+        return [(transform.alpha, err, stats.all_converged)]
+    return fork_map(_alpha_task, payloads, (a, eps, compute_error),
+                    nworkers)
+
+
+def _collect(est: AlphaEstimate, results) -> AlphaEstimate:
+    for alpha, err, ok in results:
+        est.values.append(alpha)
+        if err is not None:
+            est.errors.append(err)
+        if not ok:
+            est.feasible = False
+    return est
+
+
 def measure_alpha(a, size: int, eps: float, *, trials: int = 1,
-                  seed=None, compute_error: bool = False) -> AlphaEstimate:
+                  seed=None, compute_error: bool = False,
+                  workers: int | None = None) -> AlphaEstimate:
     """Run ExD ``trials`` times with independent dictionaries; report α.
 
     ``compute_error=False`` skips the dense reconstruction (which costs
     O(M·N·L)); the per-column OMP residuals already guarantee the bound.
+    ``workers`` parallelises across trials (or inside the encode when
+    ``trials == 1``); the measured values match the serial path exactly.
     """
     a = check_matrix(a, "A")
     size = check_positive_int(size, "size")
     eps = check_fraction(eps, "eps", inclusive_low=True)
     trials = check_positive_int(trials, "trials")
-    est = AlphaEstimate(size=size)
-    for t in range(trials):
-        transform, stats = exd_transform(
-            a, size, eps, seed=derive_seed(seed, t, size))
-        est.values.append(transform.alpha)
-        if compute_error:
-            est.errors.append(transform.transformation_error(a))
-        if not stats.all_converged:
-            est.feasible = False
-    return est
+    payloads = [(size, derive_seed(seed, t, size)) for t in range(trials)]
+    results = _run_alpha_tasks(a, payloads, eps,
+                               compute_error=compute_error,
+                               workers=workers)
+    return _collect(AlphaEstimate(size=size), results)
 
 
 def alpha_curve(a, sizes, eps: float, *, trials: int = 1, seed=None,
-                compute_error: bool = False) -> list[AlphaEstimate]:
-    """α(L) over a sweep of dictionary sizes (Fig. 4 / Fig. 5 series)."""
+                compute_error: bool = False,
+                workers: int | None = None) -> list[AlphaEstimate]:
+    """α(L) over a sweep of dictionary sizes (Fig. 4 / Fig. 5 series).
+
+    The ``len(sizes) × trials`` ExD runs are independent and are
+    parallelised jointly when ``workers`` is set.
+    """
+    a = check_matrix(a, "A")
+    eps = check_fraction(eps, "eps", inclusive_low=True)
+    trials = check_positive_int(trials, "trials")
     sizes = [check_positive_int(s, "size") for s in sizes]
-    return [measure_alpha(a, s, eps, trials=trials, seed=seed,
-                          compute_error=compute_error)
-            for s in sizes]
+    payloads = [(s, derive_seed(seed, t, s))
+                for s in sizes for t in range(trials)]
+    results = _run_alpha_tasks(a, payloads, eps,
+                               compute_error=compute_error,
+                               workers=workers)
+    out = []
+    for i, s in enumerate(sizes):
+        est = AlphaEstimate(size=s)
+        _collect(est, results[i * trials:(i + 1) * trials])
+        out.append(est)
+    return out
 
 
 @dataclass
@@ -97,15 +157,47 @@ class SubsetAlphaEstimate:
         return float(max(rel))
 
 
+def _plan_subset_sizes(fracs, n: int, max_l: int) -> list[int]:
+    """Distinct, increasing subset sizes in ``[max_l + 1, n]``.
+
+    Every subset must exceed ``max_l`` columns (a dictionary of L atoms
+    needs more than L columns to sample from), which for small ``N`` can
+    clamp several fractions onto one size.  The discrepancy test of
+    Sec. VII needs at least *two* distinct sizes, so when the clamp
+    collapses the plan and room remains, a second larger subset is
+    added; when ``N`` itself leaves no room, the single-subset plan is
+    returned and the caller warns.
+    """
+    lo = min(max_l + 1, n)
+    plan: list[int] = []
+    for frac in fracs:
+        n_s = min(max(int(round(frac * n)), lo), n)
+        if not plan or n_s > plan[-1]:
+            plan.append(n_s)
+    if len(plan) < 2 and plan[-1] < n:
+        plan.append(min(n, max(2 * plan[-1], plan[-1] + 1)))
+    return plan
+
+
 def estimate_alpha_from_subsets(a, sizes, eps: float, *,
                                 subset_fractions=(0.05, 0.1, 0.2, 0.4),
                                 threshold: float = 0.1, seed=None,
-                                trials: int = 1) -> SubsetAlphaEstimate:
+                                trials: int = 1,
+                                workers: int | None = None) \
+        -> SubsetAlphaEstimate:
     """Estimate α(L) from growing random subsets of ``A``.
 
     Runs ExD on nested subsets ``A₁ ⊂ A₂ ⊂ …`` (fractions of N) and
     stops as soon as consecutive curves agree within ``threshold``
     relative discrepancy — the low-overhead tuning protocol of Sec. VII.
+    At least two distinct subset sizes are used whenever ``N`` permits;
+    if it does not, a single-subset estimate is returned with
+    ``converged=False`` and an explicit :class:`UserWarning` (the
+    discrepancy cross-validation never ran).
+
+    The subset loop stays sequential (early stopping feeds on the
+    previous curve), but the ``sizes × trials`` runs within each subset
+    are parallelised when ``workers`` is set.
     """
     a = check_matrix(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
@@ -123,17 +215,26 @@ def estimate_alpha_from_subsets(a, sizes, eps: float, *,
     curves: dict[int, dict[int, float]] = {}
     converged = False
     max_l = max(sizes)
+    plan = _plan_subset_sizes(fracs, n, max_l)
+    if len(plan) < 2:
+        warnings.warn(
+            f"estimate_alpha_from_subsets: N={n} admits only one subset "
+            f"of more than max(sizes)={max_l} columns; returning a "
+            f"single-subset estimate without discrepancy "
+            f"cross-validation (converged=False)", UserWarning,
+            stacklevel=2)
     prev_n = None
-    for frac in fracs:
-        n_s = max(int(round(frac * n)), max_l + 1)
-        n_s = min(n_s, n)
-        if subset_sizes and n_s <= subset_sizes[-1]:
-            continue
+    for n_s in plan:
         sub = a[:, order[:n_s]]
+        # Seeds replicate the serial nesting measure_alpha would use.
+        payloads = [(l, derive_seed(derive_seed(seed, n_s, l), t, l))
+                    for l in sizes for t in range(trials)]
+        results = _run_alpha_tasks(sub, payloads, eps,
+                                   compute_error=False, workers=workers)
         curve = {}
-        for l in sizes:
-            est = measure_alpha(sub, l, eps, trials=trials,
-                                seed=derive_seed(seed, n_s, l))
+        for i, l in enumerate(sizes):
+            est = AlphaEstimate(size=l)
+            _collect(est, results[i * trials:(i + 1) * trials])
             curve[l] = est.mean
         subset_sizes.append(n_s)
         curves[n_s] = curve

@@ -27,7 +27,6 @@ from repro.core.exd import exd_transform, normalize_columns, _rescale_columns
 from repro.core.transform import TransformedData
 from repro.errors import ValidationError
 from repro.linalg.omp import batch_omp_matrix
-from repro.sparse.csc import CSCMatrix
 from repro.utils.validation import check_matrix
 
 
@@ -54,7 +53,8 @@ class ExtendResult:
 
 
 def extend_transform(transform: TransformedData, a_new, *, seed=None,
-                     new_dictionary_size: int | None = None) -> ExtendResult:
+                     new_dictionary_size: int | None = None,
+                     workers: int | None = None) -> ExtendResult:
     """Incorporate new columns into an existing ExD transform.
 
     Parameters
@@ -67,6 +67,9 @@ def extend_transform(transform: TransformedData, a_new, *, seed=None,
         Dictionary size for the fallback ExD run on unrepresentable
         columns; defaults to ``min(L, N_fail)`` where N_fail is their
         count.
+    workers:
+        Column-parallel Batch-OMP worker count for the phase-1 coding
+        (and the fallback ExD run); output is identical to serial.
     """
     a_new = check_matrix(a_new, "A_new")
     if a_new.shape[0] != transform.m:
@@ -81,8 +84,12 @@ def extend_transform(transform: TransformedData, a_new, *, seed=None,
         work, norms = a_new, None
 
     # Phase 1: code the new columns against the existing dictionary.
-    codes, _stats = batch_omp_matrix(transform.dictionary.atoms, work, eps)
-    col_ok = _converged_columns(transform.dictionary.atoms, work, codes, eps)
+    # The per-column ε verdicts come straight from Batch-OMP — a dense
+    # O(M·N·L) re-reconstruction would be redundant, and its different
+    # numerical floor could disagree with the solver at tight eps.
+    codes, stats = batch_omp_matrix(transform.dictionary.atoms, work, eps,
+                                    workers=workers)
+    col_ok = stats.converged_mask
     ok_idx = np.nonzero(col_ok)[0]
     fail_idx = np.nonzero(~col_ok)[0]
 
@@ -105,7 +112,7 @@ def extend_transform(transform: TransformedData, a_new, *, seed=None,
     l_new = new_dictionary_size or min(transform.l, remainder.shape[1])
     l_new = min(l_new, remainder.shape[1])
     sub_transform, _ = exd_transform(remainder, l_new, eps, seed=seed,
-                                     normalize=normalize)
+                                     normalize=normalize, workers=workers)
     new_atoms = Dictionary(sub_transform.dictionary.atoms,
                            np.full(sub_transform.l, -1, dtype=np.int64))
     grown = transform.dictionary.concat(new_atoms)
@@ -138,18 +145,8 @@ def extend_transform(transform: TransformedData, a_new, *, seed=None,
                         dictionary_grew=True)
 
 
-def _converged_columns(d: np.ndarray, a: np.ndarray, codes: CSCMatrix,
-                       eps: float) -> np.ndarray:
-    """Per-column check of the ε criterion for given codes."""
-    recon = d @ codes.to_dense()
-    err = np.linalg.norm(a - recon, axis=0)
-    norms = np.linalg.norm(a, axis=0)
-    # Zero columns are trivially represented.
-    return err <= eps * norms + 1e-12
-
-
 def _extend_rank_program(comm, transform, a_new, seed,
-                         new_dictionary_size):
+                         new_dictionary_size, workers=None):
     """Rank program: phase 1 of the update (coding new columns against
     the existing dictionary) is embarrassingly parallel over columns.
 
@@ -167,7 +164,7 @@ def _extend_rank_program(comm, transform, a_new, seed,
         work = block
     if block.shape[1]:
         _, stats = batch_omp_matrix(transform.dictionary.atoms, work,
-                                    transform.eps)
+                                    transform.eps, workers=workers)
         comm.charge_flops(stats.flops)
     comm.barrier()
     if rank != 0:
@@ -176,12 +173,14 @@ def _extend_rank_program(comm, transform, a_new, seed,
     # a small remainder by assumption; re-coding phase 1 serially keeps
     # the result byte-identical to extend_transform).
     return extend_transform(transform, a_new, seed=seed,
-                            new_dictionary_size=new_dictionary_size)
+                            new_dictionary_size=new_dictionary_size,
+                            workers=workers)
 
 
 def extend_transform_distributed(transform: TransformedData, a_new,
                                  cluster, *, seed=None,
-                                 new_dictionary_size: int | None = None):
+                                 new_dictionary_size: int | None = None,
+                                 workers: int | None = None):
     """Evolving-data update with phase-1 coding costed on the cluster.
 
     Returns ``(ExtendResult, SPMDResult)`` — the simulated time covers
@@ -193,5 +192,5 @@ def extend_transform_distributed(transform: TransformedData, a_new,
 
     a_new = check_matrix(a_new, "A_new")
     result = run_spmd(0, _extend_rank_program, transform, a_new, seed,
-                      new_dictionary_size, cluster=cluster)
+                      new_dictionary_size, workers, cluster=cluster)
     return result.returns[0], result

@@ -57,7 +57,8 @@ def normalize_columns(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 def exd_transform(a, size: int, eps: float, *, seed=None,
                   normalize: bool = True, max_atoms: int | None = None,
                   strict: bool = False,
-                  dictionary: Dictionary | None = None) \
+                  dictionary: Dictionary | None = None,
+                  workers: int | None = None) \
         -> tuple[TransformedData, ExDStats]:
     """Serial ExD: sample ``D`` and sparse-code every column of ``A``.
 
@@ -80,6 +81,10 @@ def exd_transform(a, size: int, eps: float, *, seed=None,
         Propagate :class:`~repro.errors.DictionaryError` when a column
         cannot meet ``eps`` (the ``L < L_min`` regime); otherwise the
         result carries ``stats.all_converged == False``.
+    workers:
+        Column-parallel Batch-OMP worker count (``None`` = serial,
+        ``-1`` = all cores); the coefficients are bit-identical to the
+        serial encode for every value.
     """
     a = check_matrix(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
@@ -97,7 +102,8 @@ def exd_transform(a, size: int, eps: float, *, seed=None,
             f"dictionary rows {dictionary.m} != data rows {a.shape[0]}")
 
     c, omp_stats = batch_omp_matrix(dictionary.atoms, a_work, eps,
-                                    max_atoms=max_atoms, strict=strict)
+                                    max_atoms=max_atoms, strict=strict,
+                                    workers=workers)
     if normalize:
         c = _rescale_columns(c, norms)
     stats = ExDStats(columns=omp_stats.columns,
@@ -117,10 +123,17 @@ def _rescale_columns(c: CSCMatrix, norms: np.ndarray) -> CSCMatrix:
                      check=False)
 
 
-def _exd_rank_program(comm, a, size, eps, seed, normalize, max_atoms):
+def _exd_rank_program(comm, a, size, eps, seed, normalize, max_atoms,
+                      workers=None):
     """SPMD body of Algorithm 1 (one rank)."""
     rank, p = comm.Get_rank(), comm.Get_size()
     m, n = a.shape
+    # Defence in depth for direct run_spmd callers: the public driver
+    # validates this before launching ranks (fast fail, no rank thread).
+    if size > n:
+        raise ValidationError(
+            f"cannot sample {size} distinct dictionary columns from "
+            f"N={n} data columns")
     if normalize:
         a_work, norms = normalize_columns(a)
     else:
@@ -139,7 +152,7 @@ def _exd_rank_program(comm, a, size, eps, seed, normalize, max_atoms):
     block = a_work[:, lo:hi]
     # Step 3: local Batch-OMP; FLOPs billed to this rank's clock.
     c_local, stats = batch_omp_matrix(dictionary.atoms, block, eps,
-                                      max_atoms=max_atoms)
+                                      max_atoms=max_atoms, workers=workers)
     comm.charge_flops(stats.flops)
     if normalize:
         c_local = _rescale_columns(c_local, norms[lo:hi])
@@ -164,18 +177,28 @@ def _exd_rank_program(comm, a, size, eps, seed, normalize, max_atoms):
 
 def exd_transform_distributed(a, size: int, eps: float, cluster, *,
                               seed=None, normalize: bool = True,
-                              max_atoms: int | None = None):
+                              max_atoms: int | None = None,
+                              workers: int | None = None):
     """Run Algorithm 1 on the emulated cluster.
 
     Returns ``(transform, stats, spmd_result)`` where ``spmd_result``
     carries the simulated preprocessing time/energy for the platform.
+    ``workers`` parallelises each rank's local Batch-OMP encode (the
+    per-rank coefficients — and hence the assembled transform — are
+    bit-identical to the serial encode).
     """
     from repro.mpi.runtime import run_spmd
 
     a = check_matrix(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
     size = check_positive_int(size, "size")
+    if size > a.shape[1]:
+        # Fail fast with the serial path's clear error instead of dying
+        # inside a rank thread with an opaque RankFailedError.
+        raise ValidationError(
+            f"cannot sample {size} distinct dictionary columns from "
+            f"N={a.shape[1]} data columns")
     result = run_spmd(0, _exd_rank_program, a, size, eps, seed, normalize,
-                      max_atoms, cluster=cluster)
+                      max_atoms, workers, cluster=cluster)
     transform, stats = result.returns[0]
     return transform, stats, result

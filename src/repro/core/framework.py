@@ -70,12 +70,17 @@ class ExtDict:
     distributed_preprocess:
         Run Algorithm 1 itself through the MPI emulator so its simulated
         cost is recorded (slower on the host; default off).
+    workers:
+        Host-side worker count for the preprocessing hot path (tuning
+        trials and the Batch-OMP encode); ``None`` = serial, ``-1`` =
+        all cores.  Results are identical for every value.
     """
 
     def __init__(self, eps: float = 0.1, *, cluster=None,
                  objective: str = "time", size: int | None = None,
                  candidates=None, subset_fraction: float = 0.25,
-                 seed=None, distributed_preprocess: bool = False) -> None:
+                 seed=None, distributed_preprocess: bool = False,
+                 workers: int | None = None) -> None:
         self.eps = check_fraction(eps, "eps", inclusive_low=True)
         self.cluster = cluster
         self.objective = check_in(objective, "objective",
@@ -85,6 +90,7 @@ class ExtDict:
         self.subset_fraction = subset_fraction
         self.seed = seed
         self.distributed_preprocess = distributed_preprocess
+        self.workers = workers
         self.cost_model = CostModel(cluster) if cluster is not None else None
         self.transform_ = None
         self.stats_ = None
@@ -105,7 +111,8 @@ class ExtDict:
                 tuning = tune_dictionary_size(
                     a, self.eps, self.cost_model, objective=self.objective,
                     candidates=self.candidates,
-                    subset_fraction=self.subset_fraction, seed=self.seed)
+                    subset_fraction=self.subset_fraction, seed=self.seed,
+                    workers=self.workers)
             size = tuning.best_size
             report.tuning_seconds = t.elapsed
             report.tuning_table = tuning.table
@@ -115,11 +122,13 @@ class ExtDict:
         with t:
             if self.distributed_preprocess and self.cluster is not None:
                 transform, stats, spmd = exd_transform_distributed(
-                    a, size, self.eps, self.cluster, seed=self.seed)
+                    a, size, self.eps, self.cluster, seed=self.seed,
+                    workers=self.workers)
                 report.simulated_transform_seconds = spmd.simulated_time
             else:
                 transform, stats = exd_transform(a, size, self.eps,
-                                                 seed=self.seed)
+                                                 seed=self.seed,
+                                                 workers=self.workers)
         report.transform_seconds = t.elapsed
         self.transform_ = transform
         self.stats_ = stats
@@ -193,7 +202,7 @@ class ExtDict:
     def update(self, a_new) -> "ExtDict":
         """Evolving-data update: fold new columns into the transform."""
         result = extend_transform(self._require_fit(), a_new,
-                                  seed=self.seed)
+                                  seed=self.seed, workers=self.workers)
         self.transform_ = result.transform
         return self
 

@@ -71,12 +71,15 @@ def default_candidates(m: int, n: int, l_min: int) -> list[int]:
 def find_min_feasible_size(a, eps: float, *, seed=None,
                            subset_fraction: float = 0.25,
                            trials: int = 1,
-                           max_size: int | None = None) -> int:
+                           max_size: int | None = None,
+                           workers: int | None = None) -> int:
     """Smallest L whose random dictionary meets ε on every column.
 
     Uses doubling + bisection on a random column subset.  Feasibility is
     monotone in L in expectation (more atoms only help), which the
     bisection relies on; ``trials > 1`` guards against unlucky draws.
+    The probes are sequential (each feeds the next bracket) but each
+    probe's trials/encode parallelise with ``workers``.
     """
     a = check_matrix(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
@@ -98,7 +101,7 @@ def find_min_feasible_size(a, eps: float, *, seed=None,
         if l > sub.shape[1]:
             return False
         est = measure_alpha(sub, l, eps, trials=trials,
-                            seed=derive_seed(seed, 1, l))
+                            seed=derive_seed(seed, 1, l), workers=workers)
         return est.feasible
 
     lo, hi = 1, None
@@ -128,7 +131,8 @@ def find_min_feasible_size(a, eps: float, *, seed=None,
 def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
                          objective: str = "time", candidates=None,
                          subset_fraction: float = 0.25, trials: int = 1,
-                         seed=None) -> TuningResult:
+                         seed=None,
+                         workers: int | None = None) -> TuningResult:
     """Pick L* minimising the platform cost (Sec. VII protocol).
 
     Parameters
@@ -143,6 +147,9 @@ def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
         Candidate L values; defaults to a geometric grid above L_min.
     subset_fraction:
         Fraction of columns used for α estimation.
+    workers:
+        Worker count for the α estimations (trial-/column-parallel);
+        the tuned L* is identical to the serial run.
 
     Raises
     ------
@@ -159,7 +166,7 @@ def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
     if candidates is None:
         l_min = find_min_feasible_size(a, eps, seed=derive_seed(seed, 7),
                                        subset_fraction=subset_fraction,
-                                       trials=trials)
+                                       trials=trials, workers=workers)
         candidates = default_candidates(m, n, l_min)
     candidates = sorted({check_positive_int(c, "candidate")
                          for c in candidates})
@@ -173,7 +180,7 @@ def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
             continue
         sub = a[:, order[:n_eff]]
         est = measure_alpha(sub, l, eps, trials=trials,
-                            seed=derive_seed(seed, 2, l))
+                            seed=derive_seed(seed, 2, l), workers=workers)
         if not est.feasible:
             continue
         predicted_nnz = est.mean * n

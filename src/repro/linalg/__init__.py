@@ -7,17 +7,38 @@ uses ("we use Batch-OMP based on Cholesky factorization updates [32]").
 """
 
 from repro.linalg.cholesky import IncrementalCholesky
-from repro.linalg.omp import OMPResult, omp_solve, batch_omp_solve, batch_omp_matrix
+from repro.linalg.omp import (
+    BatchOMPStats,
+    OMPResult,
+    omp_solve,
+    batch_omp_solve,
+    batch_omp_matrix,
+)
+from repro.linalg.parallel_omp import (
+    GRAM_CACHE,
+    GramCache,
+    cached_gram,
+    parallel_batch_omp_matrix,
+    parallel_least_squares,
+    resolve_workers,
+)
 from repro.linalg.pseudo_inverse import pseudo_inverse, least_squares_coefficients
 from repro.linalg.power_iteration import power_iteration, top_eigenpairs
 from repro.linalg.norms import frobenius_norm, relative_frobenius_error
 
 __all__ = [
     "IncrementalCholesky",
+    "BatchOMPStats",
     "OMPResult",
     "omp_solve",
     "batch_omp_solve",
     "batch_omp_matrix",
+    "GRAM_CACHE",
+    "GramCache",
+    "cached_gram",
+    "parallel_batch_omp_matrix",
+    "parallel_least_squares",
+    "resolve_workers",
     "pseudo_inverse",
     "least_squares_coefficients",
     "power_iteration",

@@ -132,24 +132,17 @@ def omp_solve(d, a, eps: float, *, max_atoms: int | None = None,
                      rnorm, converged, it)
 
 
-def batch_omp_solve(d, a, eps: float, *, gram: np.ndarray | None = None,
-                    dta: np.ndarray | None = None,
-                    max_atoms: int | None = None,
-                    strict: bool = False) -> OMPResult:
-    """Batch-OMP for one column, reusing precomputed ``G`` and ``Dᵀa``.
+def _batch_omp_column(gram, dta, a_sq: float, eps: float,
+                      max_atoms: int | None):
+    """Batch-OMP greedy loop for one column on precomputed correlations.
 
-    The residual is never formed: correlations are updated through
-    ``α = Dᵀa − G[:, I] c`` and the residual norm through
-    ``‖r‖² = ‖a‖² − cᵀ (Dᵀa)_I`` (valid because ``r ⊥ span(D_I)``).
+    The single per-column kernel shared by the serial and parallel
+    matrix paths (bit-identical results depend on both running exactly
+    this code).  Returns ``(support, coefficients, res_sq, iterations,
+    converged)`` with the support in selection order.
     """
-    d, a = _prepare(d, a)
-    m, l = d.shape
+    l = gram.shape[0]
     budget = l if max_atoms is None else min(int(max_atoms), l)
-    if gram is None:
-        gram = d.T @ d
-    if dta is None:
-        dta = d.T @ a
-    a_sq = float(a @ a)
     a_norm = np.sqrt(a_sq)
     target_sq = (eps * a_norm) ** 2
     # The recurrence ‖r‖² = ‖a‖² − cᵀ(Dᵀa)_I cancels catastrophically
@@ -157,8 +150,7 @@ def batch_omp_solve(d, a, eps: float, *, gram: np.ndarray | None = None,
     # noise-chasing; stop there instead.
     stop_sq = max(target_sq, a_sq * 1e-12)
     if a_sq == 0.0:
-        return OMPResult(np.empty(0, dtype=np.int64), np.empty(0), 0.0,
-                         True, 0)
+        return np.empty(0, dtype=np.int64), np.empty(0), 0.0, 0, True
 
     alpha = dta.copy()
     support: list[int] = []
@@ -185,29 +177,66 @@ def batch_omp_solve(d, a, eps: float, *, gram: np.ndarray | None = None,
         alpha = dta - gram[:, idx] @ coef
         res_sq = max(a_sq - float(coef @ dta[idx]), 0.0)
         it += 1
-    rnorm = float(np.sqrt(res_sq))
     converged = res_sq <= stop_sq + 1e-12 * a_sq
+    return (np.asarray(support, dtype=np.int64), np.asarray(coef),
+            res_sq, it, converged)
+
+
+def _strict_failure(eps: float, l: int, res_sq: float,
+                    a_sq: float) -> DictionaryError:
+    target_sq = (eps * float(np.sqrt(a_sq))) ** 2
+    return DictionaryError(
+        f"Batch-OMP could not reach eps={eps} with {l} atoms "
+        f"(residual {np.sqrt(res_sq):.3e} > "
+        f"target {np.sqrt(target_sq):.3e})")
+
+
+def batch_omp_solve(d, a, eps: float, *, gram: np.ndarray | None = None,
+                    dta: np.ndarray | None = None,
+                    max_atoms: int | None = None,
+                    strict: bool = False) -> OMPResult:
+    """Batch-OMP for one column, reusing precomputed ``G`` and ``Dᵀa``.
+
+    The residual is never formed: correlations are updated through
+    ``α = Dᵀa − G[:, I] c`` and the residual norm through
+    ``‖r‖² = ‖a‖² − cᵀ (Dᵀa)_I`` (valid because ``r ⊥ span(D_I)``).
+    """
+    d, a = _prepare(d, a)
+    m, l = d.shape
+    if gram is None:
+        gram = d.T @ d
+    if dta is None:
+        dta = d.T @ a
+    a_sq = float(a @ a)
+    support, coef, res_sq, it, converged = _batch_omp_column(
+        gram, dta, a_sq, eps, max_atoms)
     if strict and not converged:
-        raise DictionaryError(
-            f"Batch-OMP could not reach eps={eps} with {l} atoms "
-            f"(residual {rnorm:.3e} > target {np.sqrt(target_sq):.3e})")
-    return OMPResult(np.asarray(support, dtype=np.int64), np.asarray(coef),
-                     rnorm, converged, it)
+        raise _strict_failure(eps, l, res_sq, a_sq)
+    return OMPResult(support, coef, float(np.sqrt(res_sq)), converged, it)
 
 
 @dataclass
 class BatchOMPStats:
-    """Aggregate accounting of one ``batch_omp_matrix`` call."""
+    """Aggregate accounting of one ``batch_omp_matrix`` call.
+
+    ``converged_mask`` carries the per-column ε verdicts (the same flags
+    ``batch_omp_solve`` would report column by column), so callers like
+    the evolving-data update never need a dense ``O(M·N·L)``
+    re-reconstruction to find the unrepresentable columns.
+    """
 
     columns: int
     converged_columns: int
     total_iterations: int
     flops: int
+    converged_mask: np.ndarray | None = None
 
 
 def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
                      strict: bool = False,
-                     gram: np.ndarray | None = None) \
+                     gram: np.ndarray | None = None,
+                     workers: int | None = None,
+                     chunk_size: int | None = None) \
         -> tuple[CSCMatrix, BatchOMPStats]:
     """Sparse-code every column of ``a`` against dictionary ``d``.
 
@@ -215,38 +244,68 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
     aggregate statistics (including an analytic FLOP estimate used to
     charge virtual clocks in the distributed preprocessing).
 
+    Parameters
+    ----------
+    workers:
+        Column-parallel encode over a shared-memory worker pool (see
+        :mod:`repro.linalg.parallel_omp`).  ``None``/``1`` is serial;
+        ``-1`` uses every available core.  The output is bit-identical
+        to the serial path for every worker count.
+    chunk_size:
+        Columns per worker task (parallel path only); defaults to ~4
+        tasks per worker.
+    gram:
+        Precomputed ``DᵀD``.  When omitted, it is obtained through the
+        process-wide Gram cache, so repeated encodes against the same
+        dictionary object skip the ``O(M·L²)`` product.
+
     Raises
     ------
     DictionaryError
         With ``strict=True``, as soon as any column cannot meet ``eps``
         — the paper's ``L < L_min`` infeasible regime.
     """
+    from repro.linalg.parallel_omp import (
+        cached_gram,
+        parallel_batch_omp_matrix,
+        resolve_workers,
+    )
+
     d = np.asarray(d, dtype=np.float64)
     a = np.asarray(a, dtype=np.float64)
     if d.ndim != 2 or a.ndim != 2 or d.shape[0] != a.shape[0]:
         raise ValidationError(
             f"incompatible shapes: D{d.shape}, A{a.shape}")
+    if resolve_workers(workers) > 1:
+        return parallel_batch_omp_matrix(d, a, eps, max_atoms=max_atoms,
+                                         strict=strict, gram=gram,
+                                         workers=workers,
+                                         chunk_size=chunk_size)
     m, l = d.shape
     n = a.shape[1]
     if gram is None:
-        gram = d.T @ d
+        gram = cached_gram(d)
     dta_all = d.T @ a  # one BLAS-3 product for all columns: O(M·N·L)
     builder = ColumnBuilder(nrows=l)
     total_iters = 0
-    converged = 0
+    converged_mask = np.zeros(n, dtype=bool)
     for j in range(n):
-        result = batch_omp_solve(d, a[:, j], eps, gram=gram,
-                                 dta=dta_all[:, j], max_atoms=max_atoms,
-                                 strict=strict)
-        builder.add_column(result.support, result.coefficients)
-        total_iters += result.iterations
-        converged += int(result.converged)
+        col = a[:, j]
+        support, coef, res_sq, it, ok = _batch_omp_column(
+            gram, dta_all[:, j], float(col @ col), eps, max_atoms)
+        if strict and not ok:
+            raise _strict_failure(eps, l, res_sq, float(col @ col))
+        builder.add_column(support, coef)
+        total_iters += it
+        converged_mask[j] = ok
     c = builder.finalize()
     # FLOP model: DᵀA is 2·M·N·L; each greedy iteration touches O(L·k)
     # for the alpha update plus O(k²) solves — dominated by 2·L per
     # support entry per iteration, approximated with the paper's
     # O(M·N·L + nnz(C)) bound.
     flops = 2 * m * n * l + 4 * l * total_iters + 2 * c.nnz
-    stats = BatchOMPStats(columns=n, converged_columns=converged,
-                          total_iterations=total_iters, flops=int(flops))
+    stats = BatchOMPStats(columns=n,
+                          converged_columns=int(converged_mask.sum()),
+                          total_iterations=total_iters, flops=int(flops),
+                          converged_mask=converged_mask)
     return c, stats

@@ -1,0 +1,376 @@
+"""Shared-memory parallel Batch-OMP encoding engine.
+
+ExD preprocessing sparse-codes every column of ``A`` independently
+(Alg. 1 step 3), which makes the encode embarrassingly parallel over
+columns — the paper distributes exactly this step across ranks, and
+RankMap / Mensch et al. report near-linear scaling for column-wise
+sparse coding.  This module provides the single-host analogue:
+
+* :func:`parallel_batch_omp_matrix` — a worker-pool chunked column
+  scheduler over the Batch-OMP kernel.  The parent computes ``G = DᵀD``
+  and ``DᵀA`` once (one BLAS-3 product each); workers inherit them via
+  fork-time copy-on-write pages, so nothing heavy is pickled.  Chunks
+  are merged **in column order**, which makes the CSC output and the
+  :class:`~repro.linalg.omp.BatchOMPStats` bit-identical to the serial
+  path for every worker count and chunk size.
+* :class:`GramCache` / :func:`cached_gram` — a process-wide LRU cache of
+  ``DᵀD`` keyed on dictionary identity, so tuner trials (and evolving
+  updates) that reuse a dictionary stop recomputing the Gram matrix.
+* :func:`fork_map` — the generic deterministic fork-pool map the engine
+  is built on, reused by the trial-parallel α estimators and the dense
+  baselines.
+
+Workers are plain ``fork`` processes.  When forking is unsafe or
+unavailable — non-fork platforms, daemonic workers (no nested pools), or
+a multi-threaded parent such as the MPI emulator's rank threads — the
+engine degrades to in-process chunked execution, which returns the very
+same bits; ``workers`` is therefore always safe to pass.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DictionaryError, ValidationError
+
+__all__ = [
+    "GramCache",
+    "cached_gram",
+    "fork_map",
+    "parallel_batch_omp_matrix",
+    "parallel_least_squares",
+    "resolve_workers",
+]
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` knob to an effective worker count.
+
+    ``None``, ``0`` and ``1`` mean serial; a negative value means "all
+    available cores" (CPU affinity-aware); any other positive integer is
+    taken literally.
+    """
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        try:
+            return max(len(os.sched_getaffinity(0)), 1)
+        except (AttributeError, OSError):
+            return os.cpu_count() or 1
+    return max(workers, 1)
+
+
+# ----------------------------------------------------------------------
+# Process-wide Gram cache
+# ----------------------------------------------------------------------
+class GramCache:
+    """LRU cache of ``DᵀD`` keyed on the identity of the atom array.
+
+    The key is ``id(d)`` guarded by a weak reference, so a recycled id
+    (new array at an old address) can never alias a stale entry, and
+    entries die with their dictionary.  Hits additionally check a
+    content fingerprint, so in-place mutation of a cached array (K-SVD
+    rewrites atoms between sweeps) invalidates its entry instead of
+    serving a stale Gram; the hash costs ``O(M·L)`` per lookup against
+    the ``O(M·L²)`` recompute it saves.
+
+    Bounded by entry count and by per-entry size (grams larger than
+    ``max_bytes`` are returned but not retained).
+    """
+
+    def __init__(self, max_entries: int = 8,
+                 max_bytes: int = 1 << 28) -> None:
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self.hits = 0
+        self.misses = 0
+        # RLock: the weakref eviction callback can fire re-entrantly
+        # while the cache lock is already held (e.g. a del inside get()
+        # drops the last strong reference).
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[int, tuple] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached Gram matrix (and reset the hit counters)."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def _evict(self, key: int) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    @staticmethod
+    def _fingerprint(d: np.ndarray) -> int:
+        return hash(d.tobytes())
+
+    def get(self, d: np.ndarray) -> np.ndarray:
+        """Return ``d.T @ d``, cached across calls with the same array."""
+        key = id(d)
+        fp = self._fingerprint(d)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                ref, cached_fp, gram = entry
+                if ref() is d and cached_fp == fp:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return gram
+                del self._entries[key]
+        gram = d.T @ d
+        with self._lock:
+            self.misses += 1
+            if gram.nbytes <= self.max_bytes:
+                try:
+                    ref = weakref.ref(d, lambda _r, k=key: self._evict(k))
+                except TypeError:
+                    return gram  # non-weakref-able input; don't retain
+                self._entries[key] = (ref, fp, gram)
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+        return gram
+
+
+#: The process-wide cache used by ``batch_omp_matrix`` (serial and
+#: parallel paths alike) whenever no explicit ``gram`` is supplied.
+GRAM_CACHE = GramCache()
+
+
+def cached_gram(d: np.ndarray) -> np.ndarray:
+    """``DᵀD`` through the process-wide :data:`GRAM_CACHE`."""
+    return GRAM_CACHE.get(d)
+
+
+# ----------------------------------------------------------------------
+# Generic deterministic fork-pool map
+# ----------------------------------------------------------------------
+# Workers read the payload-independent state from this module global,
+# which they inherit at fork time (copy-on-write; nothing is pickled).
+_FORK_SHARED = None
+# Guards the set-global -> fork window against concurrent fork_map calls.
+_FORK_LOCK = threading.Lock()
+
+
+def _can_fork() -> bool:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    if multiprocessing.current_process().daemon:
+        return False  # pool workers cannot spawn nested pools
+    # fork() from a multi-threaded parent (e.g. the MPI emulator's rank
+    # threads) can deadlock the child on locks held by other threads.
+    if threading.active_count() > 1:
+        return False
+    return True
+
+
+def _fork_invoke(task):
+    fn, payload = task
+    return fn(_FORK_SHARED, payload)
+
+
+def fork_map(fn, payloads, shared, workers: int) -> list:
+    """Map ``fn(shared, payload)`` over ``payloads``, in payload order.
+
+    ``fn`` must be a module-level function (pickled by reference);
+    ``shared`` is handed to workers through fork-time inheritance and is
+    never pickled.  Falls back to an in-process loop — same results,
+    same order — whenever forking is unsafe (see :func:`_can_fork`).
+    """
+    payloads = list(payloads)
+    workers = min(int(workers), len(payloads))
+    if workers <= 1 or not _can_fork():
+        return [fn(shared, p) for p in payloads]
+    global _FORK_SHARED
+    ctx = multiprocessing.get_context("fork")
+    with _FORK_LOCK:
+        _FORK_SHARED = shared
+        try:
+            pool = ctx.Pool(processes=workers)
+        finally:
+            _FORK_SHARED = None
+    try:
+        return pool.map(_fork_invoke, [(fn, p) for p in payloads],
+                        chunksize=1)
+    finally:
+        pool.close()
+        pool.join()
+
+
+# ----------------------------------------------------------------------
+# The parallel encode engine
+# ----------------------------------------------------------------------
+@dataclass
+class _EncodeShared:
+    """Fork-inherited state of one parallel encode call."""
+
+    gram: np.ndarray      # DᵀD, (L, L)
+    dta: np.ndarray       # DᵀA, (L, N)
+    a: np.ndarray         # the data matrix (for per-column ‖a‖²)
+    eps: float
+    max_atoms: int | None
+    strict: bool
+
+
+def _encode_chunk(shared: _EncodeShared, bounds: tuple[int, int]):
+    """Code columns ``[lo, hi)``; returns arrays ready for ordered merge.
+
+    The per-column computation is exactly the serial loop of
+    ``batch_omp_matrix`` (same kernel, same ``‖a‖²`` dot, same stable
+    row sort), which is what makes the merged output bit-identical.
+    """
+    from repro.linalg.omp import _batch_omp_column
+
+    lo, hi = bounds
+    data_parts: list[np.ndarray] = []
+    index_parts: list[np.ndarray] = []
+    col_nnz = np.zeros(hi - lo, dtype=np.int64)
+    iterations = np.zeros(hi - lo, dtype=np.int64)
+    converged = np.zeros(hi - lo, dtype=bool)
+    for j in range(lo, hi):
+        col = shared.a[:, j]
+        a_sq = float(col @ col)
+        support, coef, res_sq, it, ok = _batch_omp_column(
+            shared.gram, shared.dta[:, j], a_sq, shared.eps,
+            shared.max_atoms)
+        if shared.strict and not ok:
+            # Serial raises at the first failing column; report it so the
+            # parent can raise deterministically for the smallest j.
+            return ("error", j, float(res_sq), a_sq)
+        order = np.argsort(support, kind="stable")
+        index_parts.append(support[order])
+        data_parts.append(coef[order])
+        col_nnz[j - lo] = support.size
+        iterations[j - lo] = it
+        converged[j - lo] = ok
+    data = (np.concatenate(data_parts) if data_parts
+            else np.empty(0, dtype=np.float64))
+    indices = (np.concatenate(index_parts) if index_parts
+               else np.empty(0, dtype=np.int64))
+    return ("ok", data, indices, col_nnz, iterations, converged)
+
+
+def default_chunk_size(n: int, workers: int) -> int:
+    """Columns per task: ~4 tasks per worker for load balance."""
+    return max(1, -(-n // (max(workers, 1) * 4)))
+
+
+def parallel_batch_omp_matrix(d, a, eps: float, *,
+                              max_atoms: int | None = None,
+                              strict: bool = False,
+                              gram: np.ndarray | None = None,
+                              workers: int | None = None,
+                              chunk_size: int | None = None):
+    """Sparse-code every column of ``a`` with a chunked worker pool.
+
+    Drop-in replacement for the serial ``batch_omp_matrix`` loop: the
+    returned ``(CSCMatrix, BatchOMPStats)`` pair is bit-identical to the
+    serial path regardless of ``workers`` and ``chunk_size`` — chunks
+    are merged in column order, every chunk runs the identical kernel on
+    the identical precomputed ``G``/``DᵀA``, and the stats are reduced
+    from per-column integers.  Normally reached through
+    ``batch_omp_matrix(..., workers=...)`` rather than called directly.
+    """
+    from repro.linalg.omp import BatchOMPStats
+
+    d = np.asarray(d, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    if d.ndim != 2 or a.ndim != 2 or d.shape[0] != a.shape[0]:
+        raise ValidationError(
+            f"incompatible shapes: D{d.shape}, A{a.shape}")
+    m, l = d.shape
+    n = a.shape[1]
+    nworkers = resolve_workers(workers)
+    if gram is None:
+        gram = cached_gram(d)
+    dta_all = d.T @ a  # one BLAS-3 product for all columns: O(M·N·L)
+    if chunk_size is None:
+        chunk_size = default_chunk_size(n, nworkers)
+    chunk_size = max(int(chunk_size), 1)
+    chunks = [(lo, min(lo + chunk_size, n))
+              for lo in range(0, n, chunk_size)]
+    shared = _EncodeShared(gram=gram, dta=dta_all, a=a, eps=eps,
+                           max_atoms=max_atoms, strict=strict)
+    parts = fork_map(_encode_chunk, chunks, shared, nworkers)
+
+    failures = [p for p in parts if p[0] == "error"]
+    if failures:
+        _, j, res_sq, a_sq = min(failures, key=lambda p: p[1])
+        target_sq = (eps * float(np.sqrt(a_sq))) ** 2
+        raise DictionaryError(
+            f"Batch-OMP could not reach eps={eps} with {l} atoms "
+            f"(residual {np.sqrt(res_sq):.3e} > "
+            f"target {np.sqrt(target_sq):.3e})")
+
+    data = np.concatenate([p[1] for p in parts]) if parts else \
+        np.empty(0, dtype=np.float64)
+    indices = np.concatenate([p[2] for p in parts]) if parts else \
+        np.empty(0, dtype=np.int64)
+    col_nnz = np.concatenate([p[3] for p in parts]) if parts else \
+        np.empty(0, dtype=np.int64)
+    iterations = np.concatenate([p[4] for p in parts]) if parts else \
+        np.empty(0, dtype=np.int64)
+    converged = np.concatenate([p[5] for p in parts]) if parts else \
+        np.empty(0, dtype=bool)
+
+    from repro.sparse.csc import CSCMatrix
+    indptr = np.concatenate(([0], np.cumsum(col_nnz))).astype(np.int64)
+    c = CSCMatrix(data, indices, indptr, (l, n), check=False)
+    total_iters = int(iterations.sum())
+    flops = 2 * m * n * l + 4 * l * total_iters + 2 * c.nnz
+    stats = BatchOMPStats(columns=n,
+                          converged_columns=int(converged.sum()),
+                          total_iterations=total_iters, flops=int(flops),
+                          converged_mask=converged)
+    return c, stats
+
+
+# ----------------------------------------------------------------------
+# Chunked dense least squares (RCSS / oASIS baselines)
+# ----------------------------------------------------------------------
+def _lstsq_chunk(shared, bounds):
+    from repro.linalg.pseudo_inverse import least_squares_coefficients
+
+    d, a = shared
+    lo, hi = bounds
+    return least_squares_coefficients(d, a[:, lo:hi])
+
+
+def parallel_least_squares(d, a, *, workers: int | None = None,
+                           chunk_size: int | None = None) -> np.ndarray:
+    """Dense ``C = argmin_C ‖A − DC‖_F`` with column-chunked workers.
+
+    Serial (``workers=None``) keeps the baselines' historical single
+    ``lstsq`` call; with workers each chunk solves against the same
+    ``D`` and the results are concatenated in column order.
+    """
+    from repro.linalg.pseudo_inverse import least_squares_coefficients
+
+    d = np.asarray(d, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    if d.ndim != 2 or a.ndim != 2 or d.shape[0] != a.shape[0]:
+        raise ValidationError(
+            f"incompatible shapes: D{d.shape}, A{a.shape}")
+    n = a.shape[1]
+    nworkers = resolve_workers(workers)
+    if nworkers <= 1 or n < 2:
+        return least_squares_coefficients(d, a)
+    if chunk_size is None:
+        chunk_size = max(1, -(-n // nworkers))
+    chunks = [(lo, min(lo + int(chunk_size), n))
+              for lo in range(0, n, int(chunk_size))]
+    parts = fork_map(_lstsq_chunk, chunks, (d, a), nworkers)
+    return np.concatenate(parts, axis=1)

@@ -90,6 +90,45 @@ class TestSubsetEstimation:
         with pytest.raises(ValidationError):
             estimate_alpha_from_subsets(a, [40], 0.1, subset_fractions=())
 
+    def test_clamped_fractions_keep_two_subsets(self):
+        """Regression: with N=40 and max L=16 the fractions
+        (0.05, 0.1, 0.2) all clamp to 17 columns and the discrepancy
+        test silently never ran; the planner must add a second,
+        larger subset whenever N allows one."""
+        from repro.data.subspaces import union_of_subspaces
+        a, _ = union_of_subspaces(12, 40, n_subspaces=2, dim=2,
+                                  noise=0.01, seed=9)
+        res = estimate_alpha_from_subsets(
+            a, [8, 16], 0.2, seed=0, subset_fractions=(0.05, 0.1, 0.2),
+            threshold=0.0)  # impossible threshold -> exhaust the plan
+        assert len(set(res.subset_sizes)) >= 2
+        assert res.subset_sizes == sorted(set(res.subset_sizes))
+        assert all(s > 16 for s in res.subset_sizes)
+
+    def test_single_subset_plan_warns(self):
+        """When N leaves room for only one subset above max(sizes),
+        the estimator must warn instead of silently skipping the
+        discrepancy cross-validation."""
+        from repro.data.subspaces import union_of_subspaces
+        a, _ = union_of_subspaces(12, 20, n_subspaces=2, dim=2,
+                                  noise=0.01, seed=9)
+        with pytest.warns(UserWarning, match="single-subset"):
+            res = estimate_alpha_from_subsets(a, [19], 0.5, seed=0,
+                                              subset_fractions=(0.5,))
+        assert res.subset_sizes == [20]
+        assert not res.converged
+
+    def test_workers_match_serial(self, data):
+        a, _ = data
+        base = estimate_alpha_from_subsets(a, [40, 80], 0.1, seed=0,
+                                           subset_fractions=(0.2, 0.4))
+        par = estimate_alpha_from_subsets(a, [40, 80], 0.1, seed=0,
+                                          subset_fractions=(0.2, 0.4),
+                                          workers=2)
+        assert base.subset_sizes == par.subset_sizes
+        assert base.curves == par.curves
+        assert base.final_alpha == par.final_alpha
+
 
 class TestFindMinFeasible:
     def test_result_is_feasible_and_tight(self, data):

@@ -87,6 +87,44 @@ class TestDictionaryGrowth:
             assert res.transform.l <= t.l + 10
 
 
+class TestConvergedMask:
+    def test_mask_matches_eps_criterion(self, base, rng):
+        """Regression: per-column converged flags now come from the
+        Batch-OMP stats instead of a dense reconstruction pass; they
+        must agree with the actual per-column relative errors."""
+        from repro.linalg import batch_omp_matrix
+        a, model, t = base
+        novel, _ = union_of_subspaces(24, 8, n_subspaces=1, dim=3,
+                                      noise=0.0, seed=90)
+        batch = np.concatenate(
+            [np.stack([model.bases[0] @ rng.standard_normal(2)
+                       for _ in range(6)], axis=1), novel], axis=1)
+        c, stats = batch_omp_matrix(t.dictionary.atoms, batch, 0.05)
+        assert stats.converged_mask is not None
+        assert stats.converged_mask.shape == (batch.shape[1],)
+        errs = np.linalg.norm(batch - t.dictionary.atoms @ c.to_dense(),
+                              axis=0)
+        norms = np.linalg.norm(batch, axis=0)
+        ok = errs <= 0.05 * norms + 1e-9
+        np.testing.assert_array_equal(stats.converged_mask, ok)
+        assert stats.converged_columns == int(ok.sum())
+
+    def test_extend_with_workers_matches_serial(self, base, rng):
+        a, model, t = base
+        batch = np.concatenate(
+            [np.stack([model.bases[1] @ rng.standard_normal(2)
+                       for _ in range(5)], axis=1),
+             union_of_subspaces(24, 5, n_subspaces=1, dim=2,
+                                noise=0.0, seed=91)[0]], axis=1)
+        serial = extend_transform(t, batch, seed=7)
+        par = extend_transform(t, batch, seed=7, workers=2)
+        assert serial.appended_columns == par.appended_columns
+        assert serial.extended_columns == par.extended_columns
+        assert serial.dictionary_grew == par.dictionary_grew
+        np.testing.assert_array_equal(serial.transform.coefficients.data,
+                                      par.transform.coefficients.data)
+
+
 class TestValidation:
     def test_row_mismatch(self, base):
         _, _, t = base
