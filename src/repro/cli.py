@@ -15,6 +15,12 @@ Commands
 
 Input data is either a named surrogate (``--dataset salina``) or a
 ``.npy`` file of shape ``(M, N)`` (``--input``).
+
+Every subcommand accepts ``--metrics-json FILE`` (write the unified
+:class:`~repro.observability.report.RunReport` — span timings, metric
+counters, Gram-cache hits/misses, per-op MPI traffic, virtual-clock
+totals — as JSON) and ``--profile`` (pretty-print the same report to
+stdout).  Either flag switches the observability layer on for the run.
 """
 
 from __future__ import annotations
@@ -24,7 +30,15 @@ import sys
 
 import numpy as np
 
-from repro.core import CostModel, ExtDict, exd_transform, save_transform, tune_dictionary_size
+from repro import observability
+from repro.core import (
+    CostModel,
+    ExtDict,
+    exd_transform,
+    exd_transform_distributed,
+    save_transform,
+    tune_dictionary_size,
+)
 from repro.data import DATASETS, load_dataset
 from repro.errors import ReproError
 from repro.platform import PAPER_PLATFORM_NAMES, paper_platforms, platform_by_name
@@ -58,6 +72,16 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
                         help="parallel encode/tuning workers: omit for "
                              "serial, -1 for all cores (results are "
                              "identical for every value)")
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-json", metavar="FILE", default=None,
+                        help="write the unified run report (metrics, "
+                             "spans, MPI traffic, virtual clocks) as "
+                             "JSON to FILE")
+    parser.add_argument("--profile", action="store_true",
+                        help="pretty-print the run report to stdout "
+                             "after the command")
 
 
 def cmd_info(_args) -> int:
@@ -100,9 +124,19 @@ def cmd_transform(args) -> int:
     """Build an ExD transform (tuned or fixed-L) and save it."""
     a = _load_matrix(args)
     if args.size is not None:
-        transform, stats = exd_transform(a, args.size, args.eps,
-                                         seed=args.seed,
-                                         workers=args.workers)
+        if args.distributed:
+            transform, stats, spmd = exd_transform_distributed(
+                a, args.size, args.eps, platform_by_name(args.platform),
+                seed=args.seed, workers=args.workers)
+            print(f"simulated distributed encode on {args.platform}: "
+                  f"{spmd.simulated_time * 1e3:.3f} ms")
+        else:
+            transform, stats = exd_transform(a, args.size, args.eps,
+                                             seed=args.seed,
+                                             workers=args.workers)
+    elif args.distributed:
+        raise ReproError("--distributed requires a fixed --size "
+                         "(the distributed encoder skips tuning)")
     else:
         ext = ExtDict(eps=args.eps,
                       cluster=platform_by_name(args.platform),
@@ -125,13 +159,19 @@ def cmd_pca(args) -> int:
     res = run_pca(a, args.k, method="extdict", eps=args.eps,
                   cluster=cluster, seed=args.seed, workers=args.workers)
     exact = exact_gram_eigenvalues(a, args.k)
+    # The power method may return fewer than k eigenpairs when deflation
+    # exhausts the numerical spectrum (k > rank of the Gram matrix).
+    kk = len(res.eigenvalues)
     rows = [[i + 1, f"{exact[i]:.4g}", f"{res.eigenvalues[i]:.4g}"]
-            for i in range(args.k)]
+            for i in range(kk)]
     print(format_table(["#", "exact", "ExtDict"], rows,
                        title=f"Top-{args.k} eigenvalues of A'A "
                              f"(eps={args.eps})"))
+    if kk < args.k:
+        print(f"note: spectrum exhausted after {kk} eigenpairs "
+              f"(requested {args.k})")
     print(f"normalised cumulative error: "
-          f"{eigenvalue_error(res.eigenvalues, exact):.3e}")
+          f"{eigenvalue_error(res.eigenvalues, exact[:kk]):.3e}")
     if cluster is not None:
         print(f"simulated runtime on {cluster.name}: "
               f"{res.simulated_time * 1e3:.3f} ms")
@@ -145,10 +185,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="ExtDict (IPDPS'17) reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="list platform presets and datasets")
+    p_info = sub.add_parser("info", help="list platform presets and "
+                                         "datasets")
+    _add_observability_arguments(p_info)
 
     p_tune = sub.add_parser("tune", help="platform-aware dictionary tuning")
     _add_data_arguments(p_tune)
+    _add_observability_arguments(p_tune)
     p_tune.add_argument("--platform", choices=PAPER_PLATFORM_NAMES,
                         default="2x8")
     p_tune.add_argument("--objective",
@@ -158,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr = sub.add_parser("transform", help="build and save an ExD "
                                             "transform")
     _add_data_arguments(p_tr)
+    _add_observability_arguments(p_tr)
     p_tr.add_argument("--size", type=int,
                       help="fixed dictionary size (skips tuning)")
     p_tr.add_argument("--platform", choices=PAPER_PLATFORM_NAMES,
@@ -165,11 +209,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--objective",
                       choices=("time", "energy", "memory"),
                       default="time")
+    p_tr.add_argument("--distributed", action="store_true",
+                      help="encode on the emulated --platform cluster "
+                           "(requires --size); populates MPI traffic "
+                           "and virtual clocks in the run report")
     p_tr.add_argument("--out", default="transform.npz",
                       help="output path (default: transform.npz)")
 
     p_pca = sub.add_parser("pca", help="top-k PCA through the transform")
     _add_data_arguments(p_pca)
+    _add_observability_arguments(p_pca)
     p_pca.add_argument("--k", type=int, default=5)
     p_pca.add_argument("--platform", choices=PAPER_PLATFORM_NAMES,
                        default=None,
@@ -190,8 +239,25 @@ _COMMANDS = {
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    observe = bool(getattr(args, "metrics_json", None)
+                   or getattr(args, "profile", False))
+    if observe:
+        observability.reset()
+        observability.enable()
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if observe:
+            report = observability.collect_report(
+                command=args.command,
+                argv=list(argv) if argv is not None else sys.argv[1:])
+            if args.metrics_json:
+                report.save(args.metrics_json)
+                print(f"wrote run report to {args.metrics_json}",
+                      file=sys.stderr)
+            if args.profile:
+                print(report.pretty())
+            observability.disable()

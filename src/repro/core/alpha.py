@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.exd import exd_transform
 from repro.errors import ValidationError
 from repro.linalg.parallel_omp import fork_map, resolve_workers
@@ -75,14 +76,17 @@ def _run_alpha_tasks(a, payloads, eps, *, compute_error, workers):
     column-parallel encode; results always come back in payload order.
     """
     nworkers = resolve_workers(workers)
-    if len(payloads) == 1 and nworkers > 1:
-        size, seed = payloads[0]
-        transform, stats = exd_transform(a, size, eps, seed=seed,
-                                         workers=workers)
-        err = transform.transformation_error(a) if compute_error else None
-        return [(transform.alpha, err, stats.all_converged)]
-    return fork_map(_alpha_task, payloads, (a, eps, compute_error),
-                    nworkers)
+    obs.inc("alpha.trials", len(payloads))
+    with obs.span("alpha.trials"):
+        if len(payloads) == 1 and nworkers > 1:
+            size, seed = payloads[0]
+            transform, stats = exd_transform(a, size, eps, seed=seed,
+                                             workers=workers)
+            err = (transform.transformation_error(a) if compute_error
+                   else None)
+            return [(transform.alpha, err, stats.all_converged)]
+        return fork_map(_alpha_task, payloads, (a, eps, compute_error),
+                        nworkers)
 
 
 def _collect(est: AlphaEstimate, results) -> AlphaEstimate:

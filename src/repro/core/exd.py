@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.dictionary import Dictionary, sample_dictionary
 from repro.core.transform import TransformedData
 from repro.errors import ValidationError
@@ -88,24 +89,25 @@ def exd_transform(a, size: int, eps: float, *, seed=None,
     """
     a = check_matrix(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
-    if dictionary is None:
-        size = check_positive_int(size, "size")
-        rng = as_generator(seed)
-    if normalize:
-        a_work, norms = normalize_columns(a)
-    else:
-        a_work, norms = a, None
-    if dictionary is None:
-        dictionary = sample_dictionary(a_work, size, seed=rng)
-    elif dictionary.m != a.shape[0]:
-        raise ValidationError(
-            f"dictionary rows {dictionary.m} != data rows {a.shape[0]}")
+    with obs.span("exd.transform"):
+        if dictionary is None:
+            size = check_positive_int(size, "size")
+            rng = as_generator(seed)
+        if normalize:
+            a_work, norms = normalize_columns(a)
+        else:
+            a_work, norms = a, None
+        if dictionary is None:
+            dictionary = sample_dictionary(a_work, size, seed=rng)
+        elif dictionary.m != a.shape[0]:
+            raise ValidationError(
+                f"dictionary rows {dictionary.m} != data rows {a.shape[0]}")
 
-    c, omp_stats = batch_omp_matrix(dictionary.atoms, a_work, eps,
-                                    max_atoms=max_atoms, strict=strict,
-                                    workers=workers)
-    if normalize:
-        c = _rescale_columns(c, norms)
+        c, omp_stats = batch_omp_matrix(dictionary.atoms, a_work, eps,
+                                        max_atoms=max_atoms, strict=strict,
+                                        workers=workers)
+        if normalize:
+            c = _rescale_columns(c, norms)
     stats = ExDStats(columns=omp_stats.columns,
                      converged_columns=omp_stats.converged_columns,
                      omp_iterations=omp_stats.total_iterations,
@@ -113,6 +115,8 @@ def exd_transform(a, size: int, eps: float, *, seed=None,
     transform = TransformedData(dictionary=dictionary, coefficients=c,
                                 eps=eps, method="exd",
                                 meta={"normalized": normalize})
+    obs.inc("exd.transforms")
+    obs.observe("exd.alpha", transform.alpha)
     return transform, stats
 
 
@@ -198,7 +202,8 @@ def exd_transform_distributed(a, size: int, eps: float, cluster, *,
         raise ValidationError(
             f"cannot sample {size} distinct dictionary columns from "
             f"N={a.shape[1]} data columns")
-    result = run_spmd(0, _exd_rank_program, a, size, eps, seed, normalize,
-                      max_atoms, workers, cluster=cluster)
+    with obs.span("exd.transform_distributed"):
+        result = run_spmd(0, _exd_rank_program, a, size, eps, seed,
+                          normalize, max_atoms, workers, cluster=cluster)
     transform, stats = result.returns[0]
     return transform, stats, result

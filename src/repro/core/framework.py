@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.cost_model import CostModel
 from repro.core.evolve import extend_transform
 from repro.core.exd import exd_transform, exd_transform_distributed
@@ -102,34 +103,36 @@ class ExtDict:
         a = check_matrix(a, "A")
         report = PreprocessingReport()
         size = self.size
-        if size is None:
-            if self.cost_model is None:
-                raise ValidationError(
-                    "automatic tuning needs a cluster (or pass size=...)")
-            t = Timer()
-            with t:
-                tuning = tune_dictionary_size(
-                    a, self.eps, self.cost_model, objective=self.objective,
-                    candidates=self.candidates,
-                    subset_fraction=self.subset_fraction, seed=self.seed,
-                    workers=self.workers)
-            size = tuning.best_size
-            report.tuning_seconds = t.elapsed
-            report.tuning_table = tuning.table
-        report.tuned_size = size
+        with obs.span("extdict.fit"):
+            if size is None:
+                if self.cost_model is None:
+                    raise ValidationError(
+                        "automatic tuning needs a cluster (or pass size=...)")
+                t = Timer()
+                with t, obs.span("extdict.tune"):
+                    tuning = tune_dictionary_size(
+                        a, self.eps, self.cost_model,
+                        objective=self.objective,
+                        candidates=self.candidates,
+                        subset_fraction=self.subset_fraction,
+                        seed=self.seed, workers=self.workers)
+                size = tuning.best_size
+                report.tuning_seconds = t.elapsed
+                report.tuning_table = tuning.table
+            report.tuned_size = size
 
-        t = Timer()
-        with t:
-            if self.distributed_preprocess and self.cluster is not None:
-                transform, stats, spmd = exd_transform_distributed(
-                    a, size, self.eps, self.cluster, seed=self.seed,
-                    workers=self.workers)
-                report.simulated_transform_seconds = spmd.simulated_time
-            else:
-                transform, stats = exd_transform(a, size, self.eps,
-                                                 seed=self.seed,
-                                                 workers=self.workers)
-        report.transform_seconds = t.elapsed
+            t = Timer()
+            with t, obs.span("extdict.transform"):
+                if self.distributed_preprocess and self.cluster is not None:
+                    transform, stats, spmd = exd_transform_distributed(
+                        a, size, self.eps, self.cluster, seed=self.seed,
+                        workers=self.workers)
+                    report.simulated_transform_seconds = spmd.simulated_time
+                else:
+                    transform, stats = exd_transform(a, size, self.eps,
+                                                     seed=self.seed,
+                                                     workers=self.workers)
+            report.transform_seconds = t.elapsed
         self.transform_ = transform
         self.stats_ = stats
         self.report_ = report

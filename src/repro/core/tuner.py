@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.alpha import measure_alpha
 from repro.core.cost_model import CostModel
 from repro.errors import TuningError
@@ -40,7 +41,10 @@ class TuningResult:
         Per-candidate rows ``(L, alpha, predicted_nnz, cost)`` —
         infeasible candidates are excluded.
     subset_columns:
-        How many data columns the α estimation used.
+        How many data columns the candidate evaluation actually read:
+        the largest α-estimation subset over all *evaluated* candidates
+        (feasible or not).  The serial and distributed tuners report the
+        identical value for the same inputs.
     """
 
     best_size: int
@@ -100,32 +104,34 @@ def find_min_feasible_size(a, eps: float, *, seed=None,
             sub = a[:, order[:bigger]]
         if l > sub.shape[1]:
             return False
+        obs.inc("tuner.feasibility_probes")
         est = measure_alpha(sub, l, eps, trials=trials,
                             seed=derive_seed(seed, 1, l), workers=workers)
         return est.feasible
 
-    lo, hi = 1, None
-    l = max(2, min(8, limit))
-    while l <= limit:
-        if feasible(l):
-            hi = l
-            break
-        lo = l
-        l *= 2
-    if hi is None:
-        if feasible(limit):
-            hi = limit
-        else:
-            raise TuningError(
-                f"no dictionary of size <= {limit} meets eps={eps}; "
-                f"the tolerance may be too tight for this data")
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        if feasible(mid):
-            hi = mid
-        else:
-            lo = mid
-    return hi
+    with obs.span("tuner.find_min_feasible"):
+        lo, hi = 1, None
+        l = max(2, min(8, limit))
+        while l <= limit:
+            if feasible(l):
+                hi = l
+                break
+            lo = l
+            l *= 2
+        if hi is None:
+            if feasible(limit):
+                hi = limit
+            else:
+                raise TuningError(
+                    f"no dictionary of size <= {limit} meets eps={eps}; "
+                    f"the tolerance may be too tight for this data")
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if feasible(mid):
+                hi = mid
+            else:
+                lo = mid
+        return hi
 
 
 def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
@@ -163,38 +169,42 @@ def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
     n_sub = max(min(n, int(round(subset_fraction * n))), 2)
     order = rng.permutation(n)
 
-    if candidates is None:
-        l_min = find_min_feasible_size(a, eps, seed=derive_seed(seed, 7),
-                                       subset_fraction=subset_fraction,
-                                       trials=trials, workers=workers)
-        candidates = default_candidates(m, n, l_min)
-    candidates = sorted({check_positive_int(c, "candidate")
-                         for c in candidates})
+    with obs.span("tuner.tune"):
+        if candidates is None:
+            l_min = find_min_feasible_size(a, eps, seed=derive_seed(seed, 7),
+                                           subset_fraction=subset_fraction,
+                                           trials=trials, workers=workers)
+            candidates = default_candidates(m, n, l_min)
+        candidates = sorted({check_positive_int(c, "candidate")
+                             for c in candidates})
 
-    table = []
-    for l in candidates:
-        # A candidate larger than the subset would sample every subset
-        # column; use a subset at least twice the candidate size.
-        n_eff = min(max(n_sub, 2 * l), n)
-        if l > n_eff:
-            continue
-        sub = a[:, order[:n_eff]]
-        est = measure_alpha(sub, l, eps, trials=trials,
-                            seed=derive_seed(seed, 2, l), workers=workers)
-        if not est.feasible:
-            continue
-        predicted_nnz = est.mean * n
-        cost = cost_model.objective(objective, m, l, predicted_nnz, n)
-        table.append((l, est.mean, predicted_nnz, cost))
+        table = []
+        columns_read = 0
+        for l in candidates:
+            # A candidate larger than the subset would sample every
+            # subset column; use a subset at least twice the candidate
+            # size.
+            n_eff = min(max(n_sub, 2 * l), n)
+            if l > n_eff:
+                continue
+            columns_read = max(columns_read, n_eff)
+            sub = a[:, order[:n_eff]]
+            est = measure_alpha(sub, l, eps, trials=trials,
+                                seed=derive_seed(seed, 2, l),
+                                workers=workers)
+            if not est.feasible:
+                continue
+            predicted_nnz = est.mean * n
+            cost = cost_model.objective(objective, m, l, predicted_nnz, n)
+            table.append((l, est.mean, predicted_nnz, cost))
+    obs.inc("tuner.candidates_evaluated", len(candidates))
+    obs.inc("tuner.candidates_feasible", len(table))
     if not table:
         raise TuningError(
             f"no feasible candidate among {candidates} at eps={eps}")
     best = min(table, key=lambda row: row[3])
     return TuningResult(best_size=best[0], objective=objective,
-                        table=table,
-                        subset_columns=min(max(n_sub,
-                                               2 * max(c for c, *_ in table)),
-                                           n))
+                        table=table, subset_columns=columns_read)
 
 
 def _tuning_program(comm, a, eps, objective, candidates, n_sub, order,
@@ -207,10 +217,12 @@ def _tuning_program(comm, a, eps, objective, candidates, n_sub, order,
     n = a.shape[1]
     mine = [c for i, c in enumerate(candidates) if i % p == rank]
     local_rows = []
+    local_read = 0
     for l in mine:
         n_eff = min(max(n_sub, 2 * l), n)
         if l > n_eff:
             continue
+        local_read = max(local_read, n_eff)
         sub = a[:, order[:n_eff]]
         alphas = []
         feasible = True
@@ -222,8 +234,9 @@ def _tuning_program(comm, a, eps, objective, candidates, n_sub, order,
             feasible = feasible and stats.all_converged
         if feasible:
             local_rows.append((l, float(np.mean(alphas))))
-    everyone = comm.allgather(local_rows)
-    rows = sorted(r for part in everyone for r in part)
+    everyone = comm.allgather((local_rows, local_read))
+    rows = sorted(r for part, _ in everyone for r in part)
+    columns_read = max(read for _, read in everyone)
     if comm.Get_rank() != 0:
         return None
     m = a.shape[0]
@@ -231,7 +244,7 @@ def _tuning_program(comm, a, eps, objective, candidates, n_sub, order,
     table = [(l, alpha, alpha * n,
               model.objective(kind, m, l, alpha * n, n))
              for l, alpha in rows]
-    return table
+    return table, columns_read
 
 
 def tune_dictionary_size_distributed(a, eps: float, cost_model: CostModel,
@@ -260,16 +273,18 @@ def tune_dictionary_size_distributed(a, eps: float, cost_model: CostModel,
         candidates = default_candidates(m, n, l_min)
     candidates = sorted({check_positive_int(c, "candidate")
                          for c in candidates})
-    result = run_spmd(0, _tuning_program, a, eps, objective, candidates,
-                      n_sub, order, trials, seed,
-                      (objective, cost_model),
-                      cluster=cost_model.cluster)
-    table = result.returns[0]
+    with obs.span("tuner.tune_distributed"):
+        result = run_spmd(0, _tuning_program, a, eps, objective, candidates,
+                          n_sub, order, trials, seed,
+                          (objective, cost_model),
+                          cluster=cost_model.cluster)
+    table, columns_read = result.returns[0]
+    obs.inc("tuner.candidates_evaluated", len(candidates))
+    obs.inc("tuner.candidates_feasible", len(table))
     if not table:
         raise TuningError(
             f"no feasible candidate among {candidates} at eps={eps}")
     best = min(table, key=lambda row: row[3])
     tuning = TuningResult(best_size=best[0], objective=objective,
-                          table=table,
-                          subset_columns=min(max(n_sub, 2 * best[0]), n))
+                          table=table, subset_columns=columns_read)
     return tuning, result

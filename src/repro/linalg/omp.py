@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as obs
 from repro.errors import DictionaryError, ValidationError
 from repro.linalg.cholesky import IncrementalCholesky
 from repro.sparse.builder import ColumnBuilder
@@ -283,22 +284,23 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
                                          chunk_size=chunk_size)
     m, l = d.shape
     n = a.shape[1]
-    if gram is None:
-        gram = cached_gram(d)
-    dta_all = d.T @ a  # one BLAS-3 product for all columns: O(M·N·L)
-    builder = ColumnBuilder(nrows=l)
-    total_iters = 0
-    converged_mask = np.zeros(n, dtype=bool)
-    for j in range(n):
-        col = a[:, j]
-        support, coef, res_sq, it, ok = _batch_omp_column(
-            gram, dta_all[:, j], float(col @ col), eps, max_atoms)
-        if strict and not ok:
-            raise _strict_failure(eps, l, res_sq, float(col @ col))
-        builder.add_column(support, coef)
-        total_iters += it
-        converged_mask[j] = ok
-    c = builder.finalize()
+    with obs.span("omp.encode"):
+        if gram is None:
+            gram = cached_gram(d)
+        dta_all = d.T @ a  # one BLAS-3 product for all columns: O(M·N·L)
+        builder = ColumnBuilder(nrows=l)
+        total_iters = 0
+        converged_mask = np.zeros(n, dtype=bool)
+        for j in range(n):
+            col = a[:, j]
+            support, coef, res_sq, it, ok = _batch_omp_column(
+                gram, dta_all[:, j], float(col @ col), eps, max_atoms)
+            if strict and not ok:
+                raise _strict_failure(eps, l, res_sq, float(col @ col))
+            builder.add_column(support, coef)
+            total_iters += it
+            converged_mask[j] = ok
+        c = builder.finalize()
     # FLOP model: DᵀA is 2·M·N·L; each greedy iteration touches O(L·k)
     # for the alpha update plus O(k²) solves — dominated by 2·L per
     # support entry per iteration, approximated with the paper's
@@ -308,4 +310,8 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
                           converged_columns=int(converged_mask.sum()),
                           total_iterations=total_iters, flops=int(flops),
                           converged_mask=converged_mask)
+    obs.merge_counters({"omp.columns_encoded": stats.columns,
+                        "omp.converged_columns": stats.converged_columns,
+                        "omp.iterations": total_iters,
+                        "omp.flops": stats.flops})
     return c, stats

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as obs
 from repro.errors import DictionaryError, ValidationError
 
 __all__ = [
@@ -128,9 +129,11 @@ class GramCache:
                 if ref() is d and cached_fp == fp:
                     self._entries.move_to_end(key)
                     self.hits += 1
+                    obs.inc("gram_cache.hits")
                     return gram
                 del self._entries[key]
         gram = d.T @ d
+        obs.inc("gram_cache.misses")
         with self._lock:
             self.misses += 1
             if gram.nbytes <= self.max_bytes:
@@ -260,7 +263,14 @@ def _encode_chunk(shared: _EncodeShared, bounds: tuple[int, int]):
             else np.empty(0, dtype=np.float64))
     indices = (np.concatenate(index_parts) if index_parts
                else np.empty(0, dtype=np.int64))
-    return ("ok", data, indices, col_nnz, iterations, converged)
+    # Worker-side metric deltas: a forked child cannot write into the
+    # parent's registry, so counts travel back with the chunk result and
+    # the parent merges them (repro.observability cross-process merge).
+    metric_deltas = {"omp.columns_encoded": hi - lo,
+                     "omp.converged_columns": int(converged.sum()),
+                     "omp.iterations": int(iterations.sum())}
+    return ("ok", data, indices, col_nnz, iterations, converged,
+            metric_deltas)
 
 
 def default_chunk_size(n: int, workers: int) -> int:
@@ -294,17 +304,21 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
     m, l = d.shape
     n = a.shape[1]
     nworkers = resolve_workers(workers)
-    if gram is None:
-        gram = cached_gram(d)
-    dta_all = d.T @ a  # one BLAS-3 product for all columns: O(M·N·L)
-    if chunk_size is None:
-        chunk_size = default_chunk_size(n, nworkers)
-    chunk_size = max(int(chunk_size), 1)
-    chunks = [(lo, min(lo + chunk_size, n))
-              for lo in range(0, n, chunk_size)]
-    shared = _EncodeShared(gram=gram, dta=dta_all, a=a, eps=eps,
-                           max_atoms=max_atoms, strict=strict)
-    parts = fork_map(_encode_chunk, chunks, shared, nworkers)
+    with obs.span("omp.encode"):
+        if gram is None:
+            gram = cached_gram(d)
+        dta_all = d.T @ a  # one BLAS-3 product for all columns: O(M·N·L)
+        if chunk_size is None:
+            chunk_size = default_chunk_size(n, nworkers)
+        chunk_size = max(int(chunk_size), 1)
+        chunks = [(lo, min(lo + chunk_size, n))
+                  for lo in range(0, n, chunk_size)]
+        obs.inc("pool.chunks", len(chunks))
+        obs.set_gauge("pool.workers", nworkers)
+        obs.set_gauge("pool.chunk_size", chunk_size)
+        shared = _EncodeShared(gram=gram, dta=dta_all, a=a, eps=eps,
+                               max_atoms=max_atoms, strict=strict)
+        parts = fork_map(_encode_chunk, chunks, shared, nworkers)
 
     failures = [p for p in parts if p[0] == "error"]
     if failures:
@@ -335,6 +349,9 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
                           converged_columns=int(converged.sum()),
                           total_iterations=total_iters, flops=int(flops),
                           converged_mask=converged)
+    for p in parts:
+        obs.merge_counters(p[6])
+    obs.merge_counters({"omp.flops": stats.flops})
     return c, stats
 
 

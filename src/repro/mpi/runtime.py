@@ -19,6 +19,7 @@ from repro.errors import DeadlockError, MPIEmulatorError, RankFailedError
 from repro.mpi.communicator import Communicator
 from repro.mpi.counters import TrafficLedger
 from repro.mpi.world import World
+from repro.observability.report import record_spmd_run
 
 
 @dataclass
@@ -141,7 +142,7 @@ def run_spmd(size: int, fn, *args, cluster=None, timeout: float = 120.0,
         # (e.g. mismatched collectives) detected inside the emulator.
         raise world.abort_exc
 
-    return SPMDResult(
+    result = SPMDResult(
         returns=returns,
         traffic=world.traffic,
         clocks=[c.snapshot() for c in world.clocks],
@@ -152,3 +153,7 @@ def run_spmd(size: int, fn, *args, cluster=None, timeout: float = 120.0,
         trace=(sorted(world.trace, key=lambda e: (e["start"], e["end"]))
                if world.trace is not None else None),
     )
+    # Fold traffic + virtual-clock totals into the observability layer
+    # (no-op unless enabled), so RunReports see every emulated run.
+    record_spmd_run(result)
+    return result

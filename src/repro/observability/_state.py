@@ -1,0 +1,24 @@
+"""The process-wide on/off switch for the observability layer.
+
+Kept in its own module so both :mod:`repro.observability.metrics` and
+:mod:`repro.observability.spans` can check it without importing each
+other.  The flag is read on every instrumented call site, so it is a
+plain attribute on a slotted singleton — one attribute load when
+disabled, no locks, no function-call indirection beyond the helper
+itself.
+"""
+
+from __future__ import annotations
+
+
+class ObservabilityState:
+    """Mutable holder of the global enabled flag."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+
+
+#: The singleton read by every instrumented call site.
+STATE = ObservabilityState()

@@ -1,0 +1,150 @@
+"""Nested span-based tracing with near-zero overhead when disabled.
+
+A span is a named timed region::
+
+    with span("exd.transform"):
+        ...
+
+Spans nest: a span opened while another is active on the same thread is
+recorded under the parent's path, joined with ``/`` (e.g.
+``exd.transform/omp.encode``).  The nesting stack is thread-local — the
+MPI emulator's rank threads each get their own stack, so a span opened
+inside a rank program starts a fresh root path for that thread — while
+the aggregated table is global and lock-protected, so all threads fold
+into one report.
+
+When observability is disabled :func:`span` returns a shared no-op
+context manager: the disabled cost is one flag check plus an attribute
+load, no allocation, no clock read.
+
+Exceptions unwind cleanly: a span exited by an exception still records
+its duration, increments its ``errors`` count, and pops the stack, so
+the parent's path is intact for subsequent spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.observability._state import STATE
+
+__all__ = ["SpanRecorder", "SPANS", "current_span_path", "span"]
+
+#: Separator between parent and child span names in an aggregated path.
+PATH_SEP = "/"
+
+
+class SpanRecorder:
+    """Aggregates completed spans per path: count/total/min/max/errors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        # path -> [count, total_s, min_s, max_s, errors]
+        self._table: dict[str, list[float]] = {}
+
+    # -- per-thread stack ----------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_path(self) -> str:
+        """Path of the innermost active span on this thread ('' if none)."""
+        stack = self._stack()
+        return stack[-1] if stack else ""
+
+    # -- recording -----------------------------------------------------
+    def push(self, name: str) -> str:
+        stack = self._stack()
+        path = stack[-1] + PATH_SEP + name if stack else name
+        stack.append(path)
+        return path
+
+    def pop(self, path: str, duration: float, failed: bool) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == path:
+            stack.pop()
+        with self._lock:
+            entry = self._table.get(path)
+            if entry is None:
+                self._table[path] = [1, duration, duration, duration,
+                                     1 if failed else 0]
+            else:
+                entry[0] += 1
+                entry[1] += duration
+                entry[2] = min(entry[2], duration)
+                entry[3] = max(entry[3], duration)
+                entry[4] += 1 if failed else 0
+
+    # -- readers -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """``{path: {count, total_s, min_s, max_s, errors}}`` copy."""
+        with self._lock:
+            return {
+                path: {
+                    "count": int(e[0]),
+                    "total_s": e[1],
+                    "min_s": e[2],
+                    "max_s": e[3],
+                    "errors": int(e[4]),
+                }
+                for path, e in sorted(self._table.items())
+            }
+
+    def reset(self) -> None:
+        """Drop the aggregated table (active stacks are untouched)."""
+        with self._lock:
+            self._table.clear()
+
+
+#: The process-wide recorder all spans report into.
+SPANS = SpanRecorder()
+
+
+class _Span:
+    """Context manager for one live span (enabled path)."""
+
+    __slots__ = ("name", "_path", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        self._path = SPANS.push(self.name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        SPANS.pop(self._path, time.perf_counter() - self._t0,
+                  failed=exc_type is not None)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing context manager (disabled path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str):
+    """Open a named span; a shared no-op when observability is off."""
+    if not STATE.enabled:
+        return _NULL_SPAN
+    return _Span(name)
+
+
+def current_span_path() -> str:
+    """The calling thread's innermost active span path ('' when none)."""
+    return SPANS.current_path()

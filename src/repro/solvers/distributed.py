@@ -13,10 +13,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import observability as obs
 from repro.errors import ValidationError
 from repro.solvers.adagrad import AdagradState
 from repro.solvers.lasso import LassoResult, soft_threshold
 from repro.utils.validation import check_positive_int
+
+#: Absolute floor of the stopping rule's denominator.  The documented
+#: criterion is *relative* — ``‖Δx‖ ≤ tol·‖x_new‖`` — and the floor only
+#: guards the exact-zero iterate; it must sit far below any solution
+#: magnitude of interest so small-norm solutions still stop on relative
+#: change (a floor of 1.0 would silently turn the test absolute
+#: whenever ``‖x‖ < 1``).
+NORM_FLOOR = 1e-12
 
 
 def regression_program(comm, worker_factory, y: np.ndarray, lam1: float,
@@ -60,7 +69,8 @@ def regression_program(comm, worker_factory, y: np.ndarray, lam1: float,
                           float(np.sum(x_new ** 2))])
         comm.charge_flops(4 * n_i)
         totals = comm.allreduce(local, op="sum")
-        change = float(np.sqrt(totals[0])) / max(float(np.sqrt(totals[1])), 1.0)
+        change = float(np.sqrt(totals[0])) / \
+            max(float(np.sqrt(totals[1])), NORM_FLOOR)
         history.append(change)
         x_i = x_new
         if change <= tol:
@@ -80,10 +90,16 @@ def _run(cluster, worker_factory, y, lam1: float, lam2: float, *,
     if lam1 < 0 or lam2 < 0:
         raise ValidationError(
             f"penalties must be >= 0, got lam1={lam1}, lam2={lam2}")
-    result = run_spmd(0, regression_program, worker_factory,
-                      np.asarray(y, dtype=np.float64), lam1, lam2, lr=lr,
-                      max_iter=max_iter, tol=tol, cluster=cluster)
+    with obs.span("solver.distributed"):
+        result = run_spmd(0, regression_program, worker_factory,
+                          np.asarray(y, dtype=np.float64), lam1, lam2,
+                          lr=lr, max_iter=max_iter, tol=tol,
+                          cluster=cluster)
     x, iterations, converged, history = result.returns[0]
+    obs.inc("solver.distributed.runs")
+    obs.inc("solver.distributed.iterations", iterations)
+    if converged:
+        obs.inc("solver.distributed.converged")
     return (LassoResult(x=x, iterations=iterations, converged=converged,
                         history=history), result)
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observability as obs
 from repro.errors import ValidationError
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive_int
@@ -30,9 +31,12 @@ class DistributedEigenResult:
     ----------
     eigenvalues:
         Estimated eigenvalues of the Gram matrix, in discovery
-        (descending) order.
+        (descending) order.  May hold *fewer* than the requested ``k``
+        entries: when deflation exhausts the numerical spectrum
+        (``k > rank(Gram)``), the result is truncated to the eigenpairs
+        actually found instead of being padded with garbage.
     eigenvectors:
-        ``(N, k)`` array (assembled on the driver).
+        ``(N, len(eigenvalues))`` array (assembled on the driver).
     iterations:
         Power iterations spent per eigenvalue.
     spmd:
@@ -47,8 +51,20 @@ class DistributedEigenResult:
 
 
 def power_method_program(comm, worker_factory, k: int, *, tol: float = 1e-7,
-                         max_iter: int = 200, seed=None):
-    """Rank program: top-k eigenpairs by power iteration + deflation."""
+                         max_iter: int = 200, seed=None,
+                         rank_tol: float = 1e-12):
+    """Rank program: top-k eigenpairs by power iteration + deflation.
+
+    Stops early when deflation exhausts the numerical spectrum: an
+    iterate whose deflated image has norm ``λ ≤ rank_tol · λ_max``
+    (``λ_max`` = largest eigenvalue found so far; exact zero before the
+    first) carries no remaining signal, so the loop returns only the
+    eigenpairs actually found rather than padding the basis with noise
+    vectors and phantom eigenvalues.  The decision is driven by
+    allreduce results that are identical on every rank, so all ranks
+    truncate at the same point and the collective schedule stays
+    matched.
+    """
     worker = worker_factory(comm)
     rank = comm.Get_rank()
     rng = np.random.default_rng(derive_seed(seed, rank))
@@ -83,16 +99,26 @@ def power_method_program(comm, worker_factory, k: int, *, tol: float = 1e-7,
     for _ in range(k):
         x_i = rng.standard_normal(n_i)
         x_i, norm = deflate_and_norm(x_i)
-        x_i = x_i / norm if norm > 0 else np.zeros(n_i)
+        if norm == 0.0:
+            break  # the found basis already spans the whole space
+        x_i = x_i / norm
+        # Numerical-rank floor: relative to the largest eigenvalue found
+        # (a norm is >= 0, so before the first pair only an exact zero —
+        # e.g. the zero Gram — trips it).
+        lam_floor = rank_tol * (eigenvalues[0] if eigenvalues else 0.0)
         lam_prev, lam, it = 0.0, 0.0, 0
+        exhausted = False
         for it in range(1, max_iter + 1):
             z_i, lam = deflate_and_norm(worker.apply(x_i))
-            if lam == 0.0:
+            if lam <= lam_floor:
+                exhausted = True
                 break
             x_i = z_i / lam
             if abs(lam - lam_prev) <= tol * max(lam, 1e-30):
                 break
             lam_prev = lam
+        if exhausted:
+            break
         # Re-orthonormalise before appending (stops deflation drift).
         x_i, norm = deflate_and_norm(x_i)
         if norm > 0:
@@ -110,17 +136,26 @@ def power_method_program(comm, worker_factory, k: int, *, tol: float = 1e-7,
 
 def distributed_power_method(cluster, worker_factory, k: int, *,
                              tol: float = 1e-7, max_iter: int = 200,
-                             seed=None) -> DistributedEigenResult:
+                             seed=None,
+                             rank_tol: float = 1e-12) -> DistributedEigenResult:
     """Driver: run the Power method on the emulated cluster.
 
-    ``worker_factory(comm)`` must build the per-rank Gram worker.
+    ``worker_factory(comm)`` must build the per-rank Gram worker.  When
+    ``k`` exceeds the numerical rank of the Gram matrix, the returned
+    spectrum is truncated to the eigenpairs actually found (see
+    :func:`power_method_program`).
     """
     from repro.mpi.runtime import run_spmd
 
     k = check_positive_int(k, "k")
-    result = run_spmd(0, power_method_program, worker_factory, k, tol=tol,
-                      max_iter=max_iter, seed=seed, cluster=cluster)
+    with obs.span("power_method"):
+        result = run_spmd(0, power_method_program, worker_factory, k,
+                          tol=tol, max_iter=max_iter, seed=seed,
+                          rank_tol=rank_tol, cluster=cluster)
     eigenvalues, vectors, iters = result.returns[0]
+    obs.inc("power_method.runs")
+    obs.inc("power_method.eigenpairs", len(eigenvalues))
+    obs.inc("power_method.iterations", int(sum(iters)))
     return DistributedEigenResult(eigenvalues=eigenvalues,
                                   eigenvectors=vectors, iterations=iters,
                                   spmd=result)

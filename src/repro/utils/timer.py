@@ -26,11 +26,19 @@ class Timer:
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
+        # Real errors, not asserts: ``python -O`` strips assert
+        # statements, which would let a misuse slip through and corrupt
+        # ``elapsed`` with a ``None`` subtraction further down.
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer entered while already running (nested entry would "
+                "discard the outer start time)")
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        assert self._start is not None, "Timer exited without entering"
+        if self._start is None:
+            raise RuntimeError("Timer exited without entering")
         self.elapsed += time.perf_counter() - self._start
         self._start = None
 

@@ -1,0 +1,185 @@
+"""Regression tests for the observability-PR correctness sweep.
+
+Each class pins one historical bug:
+
+* ``TestSubsetColumnsConsistency`` — the serial tuner reported
+  ``2·max(feasible candidate)`` columns while the distributed tuner
+  reported ``2·best_size``, so the same tuning run printed different
+  "alpha estimated from N columns" numbers depending on the backend.
+* ``TestPowerMethodSpectrumExhaustion`` — asking for more eigenpairs
+  than the Gram matrix's rank used to append zero vectors and phantom
+  ``0.0`` eigenvalues instead of truncating.
+* ``TestTimerGuards`` — ``Timer.__exit__`` guarded misuse with
+  ``assert``, which ``python -O`` strips.
+* ``TestRelativeStoppingRule`` — the distributed solvers' stopping rule
+  divided by ``max(‖x‖, 1.0)``, silently turning the relative test
+  absolute whenever ``‖x‖ < 1`` and stopping far too early on
+  small-scale solutions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dense import LocalDenseGramWorker
+from repro.core import CostModel, tune_dictionary_size
+from repro.core.tuner import tune_dictionary_size_distributed
+from repro.platform import platform_by_name
+from repro.solvers import distributed_lasso, distributed_power_method
+from repro.solvers.lasso import lasso_gd
+from repro.utils.timer import Timer
+
+
+@pytest.fixture(scope="module")
+def tuning_data():
+    from repro.data.subspaces import union_of_subspaces
+    a, _ = union_of_subspaces(40, 400, n_subspaces=4, dim=3, noise=0.01,
+                              seed=21)
+    return a
+
+
+class TestSubsetColumnsConsistency:
+    CANDIDATES = [40, 60, 90]
+
+    def test_serial_and_distributed_agree(self, tuning_data):
+        """Same data, seed and candidates => identical subset_columns."""
+        model = CostModel(platform_by_name("1x4"))
+        serial = tune_dictionary_size(tuning_data, 0.1, model,
+                                      candidates=self.CANDIDATES, seed=3)
+        dist, _ = tune_dictionary_size_distributed(
+            tuning_data, 0.1, model, candidates=self.CANDIDATES, seed=3)
+        assert serial.subset_columns == dist.subset_columns
+        assert serial.best_size == dist.best_size
+
+    def test_reports_columns_actually_read(self, tuning_data):
+        """subset_columns is max over EVALUATED candidates, feasible or
+        not — the columns the run actually touched."""
+        n = tuning_data.shape[1]
+        n_sub = max(min(n, int(round(0.25 * n))), 2)
+        model = CostModel(platform_by_name("1x4"))
+        result = tune_dictionary_size(tuning_data, 0.1, model,
+                                      candidates=self.CANDIDATES, seed=3)
+        expected = max(min(max(n_sub, 2 * l), n) for l in self.CANDIDATES)
+        assert result.subset_columns == expected
+
+
+class TestPowerMethodSpectrumExhaustion:
+    def test_truncates_at_numerical_rank(self, small_cluster):
+        """rank-1 Gram, k=3: exactly one eigenpair, no zero padding."""
+        a = np.zeros((1, 3))
+        a[0, 0] = 1.0  # Gram = diag(1, 0, 0): rank 1
+
+        def factory(comm):
+            return LocalDenseGramWorker(comm, a)
+
+        res = distributed_power_method(small_cluster, factory, 3, seed=5)
+        assert len(res.eigenvalues) == 1
+        assert res.eigenvalues[0] == pytest.approx(1.0)
+        assert res.eigenvectors.shape == (3, 1)
+        assert abs(res.eigenvectors[0, 0]) == pytest.approx(1.0)
+        assert len(res.iterations) == 1
+
+    def test_zero_gram_yields_empty_spectrum(self, small_cluster):
+        a = np.zeros((2, 5))
+
+        def factory(comm):
+            return LocalDenseGramWorker(comm, a)
+
+        res = distributed_power_method(small_cluster, factory, 2, seed=0)
+        assert len(res.eigenvalues) == 0
+        assert res.eigenvectors.shape == (5, 0)
+
+    def test_full_rank_still_returns_k(self, small_cluster):
+        rng = np.random.default_rng(17)
+        a = rng.standard_normal((8, 6))
+
+        def factory(comm):
+            return LocalDenseGramWorker(comm, a)
+
+        res = distributed_power_method(small_cluster, factory, 3, seed=1)
+        exact = np.sort(np.linalg.eigvalsh(a.T @ a))[::-1][:3]
+        assert len(res.eigenvalues) == 3
+        assert np.allclose(res.eigenvalues, exact, rtol=1e-4)
+
+
+class TestTimerGuards:
+    def test_exit_without_enter_raises(self):
+        with pytest.raises(RuntimeError, match="without entering"):
+            Timer().__exit__(None, None, None)
+
+    def test_nested_entry_raises(self):
+        t = Timer()
+        with t:
+            with pytest.raises(RuntimeError, match="already running"):
+                t.__enter__()
+        assert not t.running
+
+    def test_sequential_reentry_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed >= first
+        assert not t.running
+
+
+class TestRelativeStoppingRule:
+    """Small learning rate keeps every iterate norm far below 1, the
+    regime where the old ``max(‖x‖, 1.0)`` denominator silently turned
+    the documented relative test into an absolute one."""
+
+    @pytest.fixture()
+    def small_scale_problem(self):
+        from repro.data.subspaces import union_of_subspaces
+        a, _ = union_of_subspaces(40, 200, n_subspaces=3, dim=3,
+                                  noise=0.01, seed=81)
+        x_true = np.zeros(200)
+        x_true[[5, 60, 150]] = np.array([2.0, -1.0, 1.5]) * 1e-3
+        return a, a @ x_true
+
+    def test_first_change_is_exactly_relative(self, small_scale_problem,
+                                              small_cluster):
+        """From x₀=0, ‖x₁−x₀‖/‖x₁‖ = 1 whatever the scale.
+
+        The old rule recorded ‖x₁‖/max(‖x₁‖, 1) = ‖x₁‖ ≈ 1e-3 here.
+        """
+        a, y = small_scale_problem
+
+        def factory(comm):
+            return LocalDenseGramWorker(comm, a)
+
+        dist, _ = distributed_lasso(small_cluster, factory, y, 1e-8,
+                                    lr=1e-4, max_iter=1, tol=0.0)
+        assert dist.history[0] == pytest.approx(1.0)
+
+    def test_does_not_stop_on_absolute_change(self, small_scale_problem,
+                                              small_cluster):
+        """tol=0.5: relative changes start at 1.0, so the solver must
+        run several iterations; the old absolute rule saw
+        ‖Δx‖ ≈ 1e-3 ≤ 0.5 and declared convergence after one."""
+        a, y = small_scale_problem
+
+        def factory(comm):
+            return LocalDenseGramWorker(comm, a)
+
+        dist, _ = distributed_lasso(small_cluster, factory, y, 1e-8,
+                                    lr=1e-4, max_iter=50, tol=0.5)
+        assert dist.converged
+        assert dist.iterations > 2
+        assert dist.history[-1] <= 0.5
+
+    def test_matches_serial_at_small_scale(self, small_scale_problem,
+                                           small_cluster):
+        """Fixed iteration count: distributed == serial bit-for-bit at
+        small scale (the rule change alters stopping, not updates)."""
+        a, y = small_scale_problem
+
+        def factory(comm):
+            return LocalDenseGramWorker(comm, a)
+
+        dist, _ = distributed_lasso(small_cluster, factory, y, 1e-8,
+                                    lr=1e-4, max_iter=30, tol=0.0)
+        serial = lasso_gd(lambda v: a.T @ (a @ v), a.T @ y, a.shape[1],
+                          1e-8, lr=1e-4, max_iter=30, tol=0.0)
+        assert np.allclose(dist.x, serial.x, atol=1e-12)

@@ -74,6 +74,53 @@ class TestPca:
         assert "simulated runtime on 1x4" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def test_metrics_json_written(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "report.json"
+        assert main(["transform", "--dataset", "salina", "--n", "128",
+                     "--size", "24", "--metrics-json", str(path),
+                     "--out", str(tmp_path / "t.npz")]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.run_report/v1"
+        assert doc["meta"]["command"] == "transform"
+        assert doc["metrics"]["counters"]["omp.columns_encoded"] == 128
+        assert "exd.transform" in doc["spans"]
+        assert "gram_cache" in doc and "clocks" in doc
+
+    def test_distributed_transform_populates_mpi_sections(self, tmp_path):
+        import json
+        path = tmp_path / "report.json"
+        assert main(["transform", "--dataset", "salina", "--n", "128",
+                     "--size", "24", "--platform", "1x4",
+                     "--distributed", "--metrics-json", str(path),
+                     "--out", str(tmp_path / "t.npz")]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["clocks"]["runs"] >= 1
+        assert doc["clocks"]["simulated_time"] > 0
+        assert doc["traffic"]  # per-op MPI words present
+        assert doc["metrics"]["counters"]["mpi.collective.words"] > 0
+
+    def test_distributed_requires_size(self, capsys):
+        assert main(["transform", "--dataset", "salina", "--n", "128",
+                     "--distributed"]) == 1
+        assert "--distributed requires" in capsys.readouterr().err
+
+    def test_profile_prints_report(self, capsys):
+        assert main(["tune", "--dataset", "salina", "--n", "192",
+                     "--platform", "1x4", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "== run report ==" in out
+        assert "tuner.tune" in out
+
+    def test_observability_off_without_flags(self, tmp_path):
+        from repro import observability
+        assert main(["transform", "--dataset", "salina", "--n", "96",
+                     "--size", "16", "--out",
+                     str(tmp_path / "t.npz")]) == 0
+        assert not observability.enabled()
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

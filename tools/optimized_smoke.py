@@ -1,0 +1,66 @@
+"""Smoke test for ``python -O`` (assert statements stripped).
+
+Run as ``PYTHONPATH=src python -O tools/optimized_smoke.py``.  The
+pytest suite is useless under ``-O`` — its assertions vanish — so this
+script uses explicit ``if``/``raise`` checks only.  It exists because
+of a real bug: ``Timer.__exit__`` once guarded misuse with ``assert``,
+which silently disappeared in optimised mode.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"optimized smoke FAILED: {message}")
+
+
+def main() -> int:
+    check(not __debug__,
+          "run this script with python -O (asserts must be stripped)")
+
+    # Timer misuse must raise real exceptions, not asserts.
+    from repro.utils.timer import Timer
+    t = Timer()
+    try:
+        t.__exit__(None, None, None)
+    except RuntimeError:
+        pass
+    else:
+        check(False, "Timer.__exit__ without __enter__ did not raise")
+    with t:
+        try:
+            t.__enter__()
+        except RuntimeError:
+            pass
+        else:
+            check(False, "nested Timer.__enter__ did not raise")
+    check(not t.running, "timer still running after with-block")
+
+    # A tiny end-to-end transform plus an observability report.
+    import numpy as np
+
+    from repro import observability as obs
+    from repro.core import exd_transform
+
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((16, 64))
+    with obs.observed():
+        transform, stats = exd_transform(a, 12, 0.3, seed=0)
+        report = obs.collect_report(command="optimized-smoke")
+    check(transform.shape == (16, 64), "bad transform shape")
+    check(stats.columns == 64, "bad encoded column count")
+    counters = report.metrics["counters"]
+    check(counters.get("omp.columns_encoded") == 64,
+          "omp.columns_encoded counter missing or wrong")
+    check("exd.transform" in report.spans, "exd.transform span missing")
+    check(report.to_dict()["schema"] == obs.SCHEMA, "bad report schema")
+
+    print("optimized smoke OK (python -O, asserts stripped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
