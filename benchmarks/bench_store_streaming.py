@@ -1,0 +1,96 @@
+"""Streaming overhead — store-backed ExD vs. the in-memory transform.
+
+The out-of-core path reads `A` chunk-by-chunk from disk, encodes in
+fixed-width blocks, and (optionally) spills checkpoints.  This bench
+quantifies what that costs relative to the all-in-RAM transform the
+paper assumes, across block widths and with checkpointing on/off — the
+answer should be "a few percent", since the encode itself dominates and
+is bit-identical in both paths.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import exd_transform
+from repro.data import union_of_subspaces
+from repro.store import ColumnStore, StreamingEncoder
+from repro.utils import format_table
+
+M, N, L = 128, 4096, 96
+EPS = 0.05
+
+
+@pytest.fixture(scope="module")
+def problem(bench_seed, tmp_path_factory):
+    a, _ = union_of_subspaces(M, N, n_subspaces=6, dim=5, noise=0.02,
+                              seed=bench_seed)
+    root = tmp_path_factory.mktemp("store_bench")
+    store = ColumnStore.from_matrix(root / "a.store", a, chunk_width=256)
+    return a, store, root
+
+
+def test_in_memory_benchmark(benchmark, problem, bench_seed):
+    a, _, _ = problem
+    t, stats = benchmark.pedantic(exd_transform, args=(a, L, EPS),
+                                  kwargs={"seed": bench_seed},
+                                  rounds=1, iterations=1)
+    assert stats.all_converged
+
+
+@pytest.mark.parametrize("block_width", [256, 1024, 4096])
+def test_streamed_benchmark(benchmark, problem, bench_seed, block_width):
+    _, store, _ = problem
+    t, stats = benchmark.pedantic(
+        exd_transform, args=(store, L, EPS),
+        kwargs={"seed": bench_seed, "block_width": block_width},
+        rounds=1, iterations=1)
+    assert stats.all_converged
+
+
+def test_checkpointed_benchmark(benchmark, problem, bench_seed):
+    _, store, root = problem
+
+    def run():
+        enc = StreamingEncoder(store, L, EPS, seed=bench_seed,
+                               block_width=1024,
+                               checkpoint_dir=root / "ck-bench")
+        out = enc.run(resume=True)  # empty dir -> fresh run
+        return out
+
+    t, stats, rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.all_converged
+
+
+def test_streaming_overhead_table(problem, bench_seed, report):
+    """One-shot comparison table (wall-clock, not pytest-benchmark)."""
+    a, store, root = problem
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        out = fn()
+        return time.perf_counter() - t0, out
+
+    base_s, (ref, _) = timed(lambda: exd_transform(a, L, EPS,
+                                                   seed=bench_seed))
+    rows = [("in-memory", f"{base_s:.3f}", "1.00x", "-")]
+    for width in (256, 1024, 4096):
+        s, (t, _) = timed(lambda: exd_transform(store, L, EPS,
+                                                seed=bench_seed,
+                                                block_width=width))
+        identical = np.array_equal(t.coefficients.data,
+                                   ref.coefficients.data)
+        rows.append((f"streamed w={width}", f"{s:.3f}",
+                     f"{s / base_s:.2f}x", str(identical)))
+    s, (t, _, rep) = timed(lambda: StreamingEncoder(
+        store, L, EPS, seed=bench_seed, block_width=1024,
+        checkpoint_dir=root / "ck-table").run())
+    rows.append((f"checkpointed ({rep.checkpoints_written} ckpts)",
+                 f"{s:.3f}", f"{s / base_s:.2f}x",
+                 str(np.array_equal(t.coefficients.data,
+                                    ref.coefficients.data))))
+    table = format_table(
+        ["variant", "seconds", "vs in-memory", "bit-identical"], rows)
+    report("store streaming overhead", table)
+    assert all(r[3] in ("-", "True") for r in rows)

@@ -4,6 +4,9 @@ Commands
 --------
 ``info``
     Inventory of platform presets and dataset surrogates.
+``ingest``
+    Chunk a dataset (surrogate or ``.npy`` file) into an on-disk
+    column store for out-of-core runs.
 ``tune``
     Run the platform-aware tuner on a dataset and print the Sec. VII
     tuning table.
@@ -13,8 +16,11 @@ Commands
     Top-k PCA through a transform, with the exact spectrum and the
     learning error (the Fig. 10/12 measurement for one configuration).
 
-Input data is either a named surrogate (``--dataset salina``) or a
-``.npy`` file of shape ``(M, N)`` (``--input``).
+Input data is either a named surrogate (``--dataset salina``), a
+``.npy`` file of shape ``(M, N)`` (``--input``), or — for ``tune`` and
+``transform`` — a column store directory written by ``ingest``
+(``--store``), which is processed out-of-core with optional resumable
+checkpoints (``--checkpoint DIR``, ``--resume``).
 
 Every subcommand accepts ``--metrics-json FILE`` (write the unified
 :class:`~repro.observability.report.RunReport` — span timings, metric
@@ -45,7 +51,13 @@ from repro.platform import PAPER_PLATFORM_NAMES, paper_platforms, platform_by_na
 from repro.utils import format_table
 
 
-def _load_matrix(args) -> np.ndarray:
+def _load_matrix(args):
+    if getattr(args, "store", None):
+        from repro.store import ColumnStore
+
+        if getattr(args, "input", None):
+            raise ReproError("--store and --input are mutually exclusive")
+        return ColumnStore.open(args.store)
     if getattr(args, "input", None):
         arr = np.load(args.input)
         if arr.ndim != 2:
@@ -120,9 +132,45 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_ingest(args) -> int:
+    """Chunk a dataset into an on-disk column store."""
+    from repro.data import synthesize_to_store
+    from repro.store import ColumnStore
+
+    if args.input:
+        arr = np.load(args.input)
+        if arr.ndim != 2:
+            raise ReproError(
+                f"--input must hold a 2-D array, got shape {arr.shape}")
+        store = ColumnStore.from_matrix(
+            args.store, np.asarray(arr, dtype=np.float64),
+            chunk_width=args.chunk_width, attrs={"source_file": args.input})
+    else:
+        store = synthesize_to_store(args.dataset, args.store, n=args.n,
+                                    seed=args.seed,
+                                    chunk_width=args.chunk_width)
+    m, n = store.shape
+    print(f"ingested {m}x{n} into {store.path} "
+          f"({store.n_chunks} chunks of <= {store.chunk_width} columns, "
+          f"{store.nbytes / 2**20:.1f} MiB)")
+    return 0
+
+
 def cmd_transform(args) -> int:
     """Build an ExD transform (tuned or fixed-L) and save it."""
+    from repro.store import StreamingEncoder, is_column_store
+
     a = _load_matrix(args)
+    streamed = is_column_store(a)
+    if not streamed and (args.checkpoint or args.resume
+                         or args.memory_budget_mb or args.block_width):
+        raise ReproError("--checkpoint/--resume/--memory-budget-mb/"
+                         "--block-width require --store")
+    if streamed and args.distributed:
+        raise ReproError("--distributed encodes in memory; it cannot be "
+                         "combined with --store")
+    budget = (int(args.memory_budget_mb * 2**20)
+              if args.memory_budget_mb else None)
     if args.size is not None:
         if args.distributed:
             transform, stats, spmd = exd_transform_distributed(
@@ -130,6 +178,19 @@ def cmd_transform(args) -> int:
                 seed=args.seed, workers=args.workers)
             print(f"simulated distributed encode on {args.platform}: "
                   f"{spmd.simulated_time * 1e3:.3f} ms")
+        elif streamed:
+            encoder = StreamingEncoder(
+                a, args.size, args.eps, seed=args.seed,
+                workers=args.workers, memory_budget_bytes=budget,
+                block_width=args.block_width,
+                checkpoint_dir=args.checkpoint)
+            transform, stats, rep = encoder.run(resume=args.resume)
+            print(f"streamed {rep.blocks_total} blocks of "
+                  f"{rep.block_width} columns "
+                  f"({rep.blocks_reused} reused from checkpoint); read "
+                  f"{rep.chunks_read} chunks / "
+                  f"{rep.bytes_read / 2**20:.1f} MiB, wrote "
+                  f"{rep.checkpoints_written} checkpoints")
         else:
             transform, stats = exd_transform(a, args.size, args.eps,
                                              seed=args.seed,
@@ -141,7 +202,10 @@ def cmd_transform(args) -> int:
         ext = ExtDict(eps=args.eps,
                       cluster=platform_by_name(args.platform),
                       objective=args.objective, seed=args.seed,
-                      workers=args.workers).fit(a)
+                      workers=args.workers,
+                      memory_budget_bytes=budget,
+                      checkpoint_dir=args.checkpoint).fit(
+                          a, resume=args.resume)
         transform, stats = ext.transform_, ext.stats_
     path = save_transform(transform, args.out)
     print(f"data {a.shape[0]}x{a.shape[1]} -> D {transform.m}x{transform.l}"
@@ -189,9 +253,29 @@ def build_parser() -> argparse.ArgumentParser:
                                          "datasets")
     _add_observability_arguments(p_info)
 
+    p_ing = sub.add_parser("ingest", help="chunk a dataset into an "
+                                          "on-disk column store")
+    p_ing.add_argument("--dataset", choices=sorted(DATASETS),
+                       default="salina",
+                       help="named synthetic surrogate (default: salina)")
+    p_ing.add_argument("--input", metavar="FILE.npy",
+                       help="ingest a .npy matrix instead of a surrogate")
+    p_ing.add_argument("--n", type=int, default=1024,
+                       help="surrogate column count (default: 1024)")
+    p_ing.add_argument("--seed", type=int, default=0,
+                       help="surrogate random seed (default: 0)")
+    p_ing.add_argument("--store", required=True, metavar="DIR",
+                       help="output column-store directory")
+    p_ing.add_argument("--chunk-width", type=int, default=256,
+                       help="columns per store chunk (default: 256)")
+    _add_observability_arguments(p_ing)
+
     p_tune = sub.add_parser("tune", help="platform-aware dictionary tuning")
     _add_data_arguments(p_tune)
     _add_observability_arguments(p_tune)
+    p_tune.add_argument("--store", metavar="DIR", default=None,
+                        help="tune on a column store (subset columns are "
+                             "read from disk)")
     p_tune.add_argument("--platform", choices=PAPER_PLATFORM_NAMES,
                         default="2x8")
     p_tune.add_argument("--objective",
@@ -204,6 +288,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_arguments(p_tr)
     p_tr.add_argument("--size", type=int,
                       help="fixed dictionary size (skips tuning)")
+    p_tr.add_argument("--store", metavar="DIR", default=None,
+                      help="encode a column store out-of-core (bit-"
+                           "identical to the in-memory encode)")
+    p_tr.add_argument("--checkpoint", metavar="DIR", default=None,
+                      help="spill encoded blocks and a resumable "
+                           "checkpoint manifest to DIR (requires "
+                           "--store)")
+    p_tr.add_argument("--resume", action="store_true",
+                      help="resume an interrupted encode from "
+                           "--checkpoint (bit-identical to an "
+                           "uninterrupted run)")
+    p_tr.add_argument("--memory-budget-mb", type=float, default=None,
+                      help="cap the encode working set (MiB); sets the "
+                           "streaming block width via the Eq. 4 memory "
+                           "model")
+    p_tr.add_argument("--block-width", type=int, default=None,
+                      help="explicit streaming block width (multiple "
+                           "of 256; overrides --memory-budget-mb)")
     p_tr.add_argument("--platform", choices=PAPER_PLATFORM_NAMES,
                       default="2x8")
     p_tr.add_argument("--objective",
@@ -230,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "info": cmd_info,
+    "ingest": cmd_ingest,
     "tune": cmd_tune,
     "transform": cmd_transform,
     "pca": cmd_pca,

@@ -27,7 +27,7 @@ from repro.core.exd import exd_transform
 from repro.errors import ValidationError
 from repro.linalg.parallel_omp import fork_map, resolve_workers
 from repro.utils.rng import as_generator, derive_seed
-from repro.utils.validation import check_fraction, check_matrix, check_positive_int
+from repro.utils.validation import check_fraction, check_positive_int
 
 
 @dataclass
@@ -108,8 +108,13 @@ def measure_alpha(a, size: int, eps: float, *, trials: int = 1,
     O(M·N·L)); the per-column OMP residuals already guarantee the bound.
     ``workers`` parallelises across trials (or inside the encode when
     ``trials == 1``); the measured values match the serial path exactly.
+    ``a`` may be a :class:`~repro.store.ColumnStore` — each trial then
+    streams the encode and the α values match the in-memory ones
+    bit-for-bit.
     """
-    a = check_matrix(a, "A")
+    from repro.store.column_store import check_matrix_or_store
+
+    a = check_matrix_or_store(a, "A")
     size = check_positive_int(size, "size")
     eps = check_fraction(eps, "eps", inclusive_low=True)
     trials = check_positive_int(trials, "trials")
@@ -128,7 +133,9 @@ def alpha_curve(a, sizes, eps: float, *, trials: int = 1, seed=None,
     The ``len(sizes) × trials`` ExD runs are independent and are
     parallelised jointly when ``workers`` is set.
     """
-    a = check_matrix(a, "A")
+    from repro.store.column_store import check_matrix_or_store
+
+    a = check_matrix_or_store(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
     trials = check_positive_int(trials, "trials")
     sizes = [check_positive_int(s, "size") for s in sizes]
@@ -201,9 +208,13 @@ def estimate_alpha_from_subsets(a, sizes, eps: float, *,
 
     The subset loop stays sequential (early stopping feeds on the
     previous curve), but the ``sizes × trials`` runs within each subset
-    are parallelised when ``workers`` is set.
+    are parallelised when ``workers`` is set.  With a
+    :class:`~repro.store.ColumnStore` input only the sampled subset
+    columns are ever read from disk — the full matrix is not.
     """
-    a = check_matrix(a, "A")
+    from repro.store.column_store import check_matrix_or_store, take_columns
+
+    a = check_matrix_or_store(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
     sizes = [check_positive_int(s, "size") for s in sizes]
     if not subset_fractions:
@@ -229,7 +240,7 @@ def estimate_alpha_from_subsets(a, sizes, eps: float, *,
             stacklevel=2)
     prev_n = None
     for n_s in plan:
-        sub = a[:, order[:n_s]]
+        sub = take_columns(a, order[:n_s])
         # Seeds replicate the serial nesting measure_alpha would use.
         payloads = [(l, derive_seed(derive_seed(seed, n_s, l), t, l))
                     for l in sizes for t in range(trials)]

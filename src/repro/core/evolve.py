@@ -26,7 +26,8 @@ from repro.core.dictionary import Dictionary
 from repro.core.exd import exd_transform, normalize_columns, _rescale_columns
 from repro.core.transform import TransformedData
 from repro.errors import ValidationError
-from repro.linalg.omp import batch_omp_matrix
+from repro.linalg.omp import ENCODE_BLOCK_COLS, batch_omp_matrix
+from repro.sparse.csc import CSCMatrix
 from repro.utils.validation import check_matrix
 
 
@@ -52,9 +53,46 @@ class ExtendResult:
     dictionary_grew: bool
 
 
+def _stream_new_column_codes(transform: TransformedData, store,
+                             *, workers, block_width):
+    """Phase-1 coding of store-backed new columns, block by block.
+
+    Blocks are aligned to ``A_new``'s own first column in
+    :data:`~repro.linalg.omp.ENCODE_BLOCK_COLS` panels — the same
+    partition the one-shot in-memory coding uses internally — so the
+    returned codes and ε verdicts are bit-identical to feeding the
+    dense ``store.as_array()`` through :func:`batch_omp_matrix`.
+    """
+    from repro.linalg.parallel_omp import cached_gram
+
+    eps = transform.eps
+    normalize = bool(transform.meta.get("normalized", True))
+    width = block_width if block_width is not None \
+        else 4 * ENCODE_BLOCK_COLS
+    if width <= 0 or width % ENCODE_BLOCK_COLS:
+        raise ValidationError(
+            f"block_width must be a positive multiple of "
+            f"{ENCODE_BLOCK_COLS}, got {block_width}")
+    gram = cached_gram(transform.dictionary.atoms)
+    parts, masks = [], []
+    for _lo, _hi, raw in store.iter_blocks(width):
+        if normalize:
+            work, norms = normalize_columns(raw)
+        else:
+            work, norms = raw, None
+        c_blk, st = batch_omp_matrix(transform.dictionary.atoms, work,
+                                     eps, gram=gram, workers=workers)
+        if normalize:
+            c_blk = _rescale_columns(c_blk, norms)
+        parts.append(c_blk)
+        masks.append(st.converged_mask)
+    return CSCMatrix.hstack_all(parts), np.concatenate(masks)
+
+
 def extend_transform(transform: TransformedData, a_new, *, seed=None,
                      new_dictionary_size: int | None = None,
-                     workers: int | None = None) -> ExtendResult:
+                     workers: int | None = None,
+                     block_width: int | None = None) -> ExtendResult:
     """Incorporate new columns into an existing ExD transform.
 
     Parameters
@@ -62,7 +100,10 @@ def extend_transform(transform: TransformedData, a_new, *, seed=None,
     transform:
         The current ``A ≈ DC`` (must be an ExD-style sparse transform).
     a_new:
-        New columns, shape ``(M, N_new)``.
+        New columns, shape ``(M, N_new)`` — a dense array or a
+        :class:`~repro.store.ColumnStore` (the new columns are then
+        streamed from disk; the result is bit-identical to the dense
+        path).
     new_dictionary_size:
         Dictionary size for the fallback ExD run on unrepresentable
         columns; defaults to ``min(L, N_fail)`` where N_fail is their
@@ -70,31 +111,42 @@ def extend_transform(transform: TransformedData, a_new, *, seed=None,
     workers:
         Column-parallel Batch-OMP worker count for the phase-1 coding
         (and the fallback ExD run); output is identical to serial.
+    block_width:
+        Streaming block width for a store-backed ``a_new`` (multiple of
+        :data:`~repro.linalg.omp.ENCODE_BLOCK_COLS`); ignored for dense
+        input.
     """
-    a_new = check_matrix(a_new, "A_new")
+    from repro.store.column_store import is_column_store, take_columns
+
+    streamed = is_column_store(a_new)
+    if not streamed:
+        a_new = check_matrix(a_new, "A_new")
     if a_new.shape[0] != transform.m:
         raise ValidationError(
             f"A_new has {a_new.shape[0]} rows, transform expects "
             f"{transform.m}")
     eps = transform.eps
     normalize = bool(transform.meta.get("normalized", True))
-    if normalize:
-        work, norms = normalize_columns(a_new)
-    else:
-        work, norms = a_new, None
 
     # Phase 1: code the new columns against the existing dictionary.
     # The per-column ε verdicts come straight from Batch-OMP — a dense
     # O(M·N·L) re-reconstruction would be redundant, and its different
     # numerical floor could disagree with the solver at tight eps.
-    codes, stats = batch_omp_matrix(transform.dictionary.atoms, work, eps,
-                                    workers=workers)
-    col_ok = stats.converged_mask
+    if streamed:
+        codes, col_ok = _stream_new_column_codes(
+            transform, a_new, workers=workers, block_width=block_width)
+    else:
+        if normalize:
+            work, norms = normalize_columns(a_new)
+        else:
+            work, norms = a_new, None
+        codes, stats = batch_omp_matrix(transform.dictionary.atoms, work,
+                                        eps, workers=workers)
+        col_ok = stats.converged_mask
+        if normalize:
+            codes = _rescale_columns(codes, norms)
     ok_idx = np.nonzero(col_ok)[0]
     fail_idx = np.nonzero(~col_ok)[0]
-
-    if normalize:
-        codes = _rescale_columns(codes, norms)
 
     if fail_idx.size == 0:
         appended = transform.coefficients.hstack(codes)
@@ -107,8 +159,9 @@ def extend_transform(transform: TransformedData, a_new, *, seed=None,
                             extended_columns=0, dictionary_grew=False)
 
     # Phase 2: the remainder spans new structure — run ExD on it and
-    # zero-pad (Fig. 3).
-    remainder = a_new[:, fail_idx]
+    # zero-pad (Fig. 3).  The remainder is gathered densely: by
+    # assumption it is the small unrepresentable tail, not the dataset.
+    remainder = take_columns(a_new, fail_idx)
     l_new = new_dictionary_size or min(transform.l, remainder.shape[1])
     l_new = min(l_new, remainder.shape[1])
     sub_transform, _ = exd_transform(remainder, l_new, eps, seed=seed,
@@ -189,7 +242,12 @@ def extend_transform_distributed(transform: TransformedData, a_new,
     re-transform).
     """
     from repro.mpi.runtime import run_spmd
+    from repro.store.column_store import is_column_store
 
+    if is_column_store(a_new):
+        raise ValidationError(
+            "extend_transform_distributed needs an in-memory A_new; "
+            "stream store-backed updates through extend_transform")
     a_new = check_matrix(a_new, "A_new")
     result = run_spmd(0, _extend_rank_program, transform, a_new, seed,
                       new_dictionary_size, workers, cluster=cluster)

@@ -24,7 +24,7 @@ from repro import observability as obs
 from repro.core.dictionary import Dictionary, sample_dictionary
 from repro.core.transform import TransformedData
 from repro.errors import ValidationError
-from repro.linalg.omp import batch_omp_matrix
+from repro.linalg.omp import batch_omp_matrix, blocked_column_norms
 from repro.sparse.csc import CSCMatrix
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_fraction, check_matrix, check_positive_int
@@ -48,9 +48,14 @@ class ExDStats:
 def normalize_columns(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Scale columns to unit ℓ2 norm; zero columns stay zero.
 
-    Returns the normalised matrix and the original norms.
+    Returns the normalised matrix and the original norms.  The norms use
+    the encode engine's aligned blocked reduction
+    (:func:`repro.linalg.omp.blocked_column_norms`), so normalising a
+    whole matrix and normalising any aligned column block of it produce
+    bit-identical values — the invariant the out-of-core streaming
+    encoder relies on.
     """
-    norms = np.linalg.norm(a, axis=0)
+    norms = blocked_column_norms(np.asarray(a, dtype=np.float64))
     safe = np.where(norms > 0, norms, 1.0)
     return a / safe, norms
 
@@ -59,14 +64,19 @@ def exd_transform(a, size: int, eps: float, *, seed=None,
                   normalize: bool = True, max_atoms: int | None = None,
                   strict: bool = False,
                   dictionary: Dictionary | None = None,
-                  workers: int | None = None) \
+                  workers: int | None = None,
+                  memory_budget_bytes: int | None = None,
+                  block_width: int | None = None,
+                  checkpoint_dir=None, resume: bool = False) \
         -> tuple[TransformedData, ExDStats]:
     """Serial ExD: sample ``D`` and sparse-code every column of ``A``.
 
     Parameters
     ----------
     a:
-        Data matrix ``(M, N)``.
+        Data matrix ``(M, N)`` — a dense array, or a
+        :class:`~repro.store.ColumnStore` to encode out-of-core (the
+        result is bit-identical to passing ``store.as_array()``).
     size:
         Dictionary size L (the tunable redundancy knob).
     eps:
@@ -86,7 +96,32 @@ def exd_transform(a, size: int, eps: float, *, seed=None,
         Column-parallel Batch-OMP worker count (``None`` = serial,
         ``-1`` = all cores); the coefficients are bit-identical to the
         serial encode for every value.
+    memory_budget_bytes, block_width, checkpoint_dir, resume:
+        Out-of-core knobs, only meaningful for a
+        :class:`~repro.store.ColumnStore` input (see
+        :class:`~repro.store.StreamingEncoder`); passing any of them
+        with an in-memory array raises
+        :class:`~repro.errors.ValidationError`.
     """
+    from repro.store.column_store import is_column_store
+
+    if is_column_store(a):
+        from repro.store.streaming import StreamingEncoder
+
+        encoder = StreamingEncoder(
+            a, size, eps, seed=seed, normalize=normalize,
+            max_atoms=max_atoms, strict=strict, workers=workers,
+            dictionary=dictionary,
+            memory_budget_bytes=memory_budget_bytes,
+            block_width=block_width, checkpoint_dir=checkpoint_dir)
+        transform, stats, _report = encoder.run(resume=resume)
+        return transform, stats
+    if (memory_budget_bytes is not None or block_width is not None
+            or checkpoint_dir is not None or resume):
+        raise ValidationError(
+            "memory_budget_bytes/block_width/checkpoint_dir/resume "
+            "require a ColumnStore input; in-memory arrays are encoded "
+            "in one pass")
     a = check_matrix(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
     with obs.span("exd.transform"):
@@ -192,7 +227,12 @@ def exd_transform_distributed(a, size: int, eps: float, cluster, *,
     bit-identical to the serial encode).
     """
     from repro.mpi.runtime import run_spmd
+    from repro.store.column_store import is_column_store
 
+    if is_column_store(a):
+        raise ValidationError(
+            "exd_transform_distributed needs an in-memory matrix; "
+            "encode a ColumnStore with exd_transform (streaming) instead")
     a = check_matrix(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
     size = check_positive_int(size, "size")

@@ -32,7 +32,7 @@ from repro.core.gram import TransformedGramOperator, run_distributed_gram
 from repro.core.tuner import tune_dictionary_size
 from repro.errors import ReproError, ValidationError
 from repro.utils.timer import Timer
-from repro.utils.validation import check_fraction, check_in, check_matrix
+from repro.utils.validation import check_fraction, check_in
 
 
 @dataclass
@@ -75,13 +75,20 @@ class ExtDict:
         Host-side worker count for the preprocessing hot path (tuning
         trials and the Batch-OMP encode); ``None`` = serial, ``-1`` =
         all cores.  Results are identical for every value.
+    memory_budget_bytes, checkpoint_dir:
+        Out-of-core knobs used when ``fit`` receives a
+        :class:`~repro.store.ColumnStore` (see
+        :class:`~repro.store.StreamingEncoder`); ignored for in-memory
+        input.
     """
 
     def __init__(self, eps: float = 0.1, *, cluster=None,
                  objective: str = "time", size: int | None = None,
                  candidates=None, subset_fraction: float = 0.25,
                  seed=None, distributed_preprocess: bool = False,
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 memory_budget_bytes: int | None = None,
+                 checkpoint_dir=None) -> None:
         self.eps = check_fraction(eps, "eps", inclusive_low=True)
         self.cluster = cluster
         self.objective = check_in(objective, "objective",
@@ -92,15 +99,48 @@ class ExtDict:
         self.seed = seed
         self.distributed_preprocess = distributed_preprocess
         self.workers = workers
+        self.memory_budget_bytes = memory_budget_bytes
+        self.checkpoint_dir = checkpoint_dir
         self.cost_model = CostModel(cluster) if cluster is not None else None
         self.transform_ = None
         self.stats_ = None
         self.report_ = None
 
     # ------------------------------------------------------------------
-    def fit(self, a) -> "ExtDict":
-        """Tune L (unless fixed), then transform ``A`` into ``(D, C)``."""
-        a = check_matrix(a, "A")
+    @classmethod
+    def from_store(cls, path, **kwargs) -> "ExtDict":
+        """Open a :class:`~repro.store.ColumnStore` and fit on it.
+
+        The whole pipeline — tuning (subset reads), the streamed encode,
+        and later :meth:`evolve` calls — runs without ever materialising
+        the full matrix; ``kwargs`` are the constructor's.
+        """
+        from repro.store import ColumnStore
+
+        return cls(**kwargs).fit(ColumnStore.open(path))
+
+    def fit(self, a, *, resume: bool = False) -> "ExtDict":
+        """Tune L (unless fixed), then transform ``A`` into ``(D, C)``.
+
+        ``a`` may be a :class:`~repro.store.ColumnStore`; the transform
+        is then streamed from disk (bit-identical to the dense path) and
+        ``resume=True`` continues a checkpointed encode.
+        """
+        from repro.store.column_store import check_matrix_or_store, is_column_store
+
+        a = check_matrix_or_store(a, "A")
+        streamed = is_column_store(a)
+        if streamed and self.distributed_preprocess:
+            raise ValidationError(
+                "distributed_preprocess needs an in-memory matrix; "
+                "store-backed fits stream the encode on the host")
+        stream_kwargs = {}
+        if streamed:
+            stream_kwargs = {
+                "memory_budget_bytes": self.memory_budget_bytes,
+                "checkpoint_dir": self.checkpoint_dir,
+                "resume": resume,
+            }
         report = PreprocessingReport()
         size = self.size
         with obs.span("extdict.fit"):
@@ -131,7 +171,8 @@ class ExtDict:
                 else:
                     transform, stats = exd_transform(a, size, self.eps,
                                                      seed=self.seed,
-                                                     workers=self.workers)
+                                                     workers=self.workers,
+                                                     **stream_kwargs)
             report.transform_seconds = t.elapsed
         self.transform_ = transform
         self.stats_ = stats
@@ -203,11 +244,21 @@ class ExtDict:
 
     # ------------------------------------------------------------------
     def update(self, a_new) -> "ExtDict":
-        """Evolving-data update: fold new columns into the transform."""
+        """Evolving-data update: fold new columns into the transform.
+
+        ``a_new`` may be a dense block or a
+        :class:`~repro.store.ColumnStore` of the new columns (streamed
+        from disk, bit-identical to the dense path).
+        """
         result = extend_transform(self._require_fit(), a_new,
                                   seed=self.seed, workers=self.workers)
         self.transform_ = result.transform
         return self
+
+    def evolve(self, a_new) -> "ExtDict":
+        """Alias of :meth:`update` matching the paper's evolving-data
+        terminology (Sec. V-E)."""
+        return self.update(a_new)
 
     def preprocessing_report(self) -> PreprocessingReport:
         """Tuning/transformation overheads of the last fit (Table II)."""

@@ -10,6 +10,9 @@ file (dictionary atoms, CSC arrays, ε, provenance).
 from __future__ import annotations
 
 import json
+import warnings
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -23,12 +26,22 @@ _FORMAT_VERSION = 1
 
 
 def save_transform(transform: TransformedData, path) -> Path:
-    """Write a transform to ``path`` (``.npz`` appended if missing)."""
+    """Write a transform to ``path`` (``.npz`` appended if missing).
+
+    Only JSON-scalar meta values (str/int/float/bool/None) survive the
+    round-trip; anything else is dropped with a warning naming the keys.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     meta = {k: v for k, v in transform.meta.items()
             if isinstance(v, (str, int, float, bool, type(None)))}
+    dropped = sorted(set(transform.meta) - set(meta))
+    if dropped:
+        warnings.warn(
+            f"save_transform: dropping non-scalar meta keys {dropped}; "
+            f"only str/int/float/bool/None values are persisted",
+            stacklevel=2)
     header = {
         "format_version": _FORMAT_VERSION,
         "eps": transform.eps,
@@ -50,24 +63,48 @@ def save_transform(transform: TransformedData, path) -> Path:
 
 
 def load_transform(path) -> TransformedData:
-    """Read a transform previously written by :func:`save_transform`."""
+    """Read a transform previously written by :func:`save_transform`.
+
+    Raises
+    ------
+    ValidationError
+        When the file is missing, truncated/corrupt, not a transform
+        archive, or written by a newer format version of this library.
+    """
     path = Path(path)
     if not path.exists():
         raise ValidationError(f"no such transform file: {path}")
-    with np.load(path) as blob:
-        try:
-            header = json.loads(bytes(blob["header"]).decode("utf-8"))
-        except (KeyError, json.JSONDecodeError) as exc:
-            raise ValidationError(
-                f"{path} is not a repro transform file") from exc
-        if header.get("format_version") != _FORMAT_VERSION:
-            raise ValidationError(
-                f"unsupported transform format "
-                f"{header.get('format_version')!r} in {path}")
-        dictionary = Dictionary(blob["atoms"], blob["atom_indices"])
-        c = CSCMatrix(blob["c_data"], blob["c_indices"], blob["c_indptr"],
-                      tuple(blob["c_shape"]))
-        return TransformedData(dictionary=dictionary, coefficients=c,
-                               eps=float(header["eps"]),
-                               method=str(header["method"]),
-                               meta=dict(header.get("meta", {})))
+    try:
+        with np.load(path) as blob:
+            try:
+                header = json.loads(bytes(blob["header"]).decode("utf-8"))
+            except (KeyError, json.JSONDecodeError,
+                    UnicodeDecodeError) as exc:
+                raise ValidationError(
+                    f"{path} is not a repro transform file") from exc
+            version = header.get("format_version")
+            if isinstance(version, int) and version > _FORMAT_VERSION:
+                raise ValidationError(
+                    f"{path} uses transform format {version}, newer than "
+                    f"the latest supported ({_FORMAT_VERSION}); upgrade "
+                    f"repro to read it")
+            if version != _FORMAT_VERSION:
+                raise ValidationError(
+                    f"unsupported transform format {version!r} in {path}")
+            dictionary = Dictionary(blob["atoms"], blob["atom_indices"])
+            c = CSCMatrix(blob["c_data"], blob["c_indices"],
+                          blob["c_indptr"], tuple(blob["c_shape"]))
+            return TransformedData(dictionary=dictionary, coefficients=c,
+                                   eps=float(header["eps"]),
+                                   method=str(header["method"]),
+                                   meta=dict(header.get("meta", {})))
+    except ValidationError:
+        raise
+    # np.load raises ValueError/OSError on non-npz bytes, BadZipFile on a
+    # damaged archive; truncated members surface as zlib/EOF errors when
+    # the arrays are materialised.
+    except (KeyError, ValueError, OSError, EOFError,
+            zipfile.BadZipFile, zlib.error) as exc:
+        raise ValidationError(
+            f"{path} is corrupt or truncated "
+            f"({type(exc).__name__}: {exc})") from exc

@@ -100,8 +100,28 @@ class TransformedData:
         return self.dictionary.atoms @ sub.to_dense()
 
     def transformation_error(self, a) -> float:
-        """``‖A − DC‖_F / ‖A‖_F`` against the original data."""
-        return relative_frobenius_error(a, self.reconstruct())
+        """``‖A − DC‖_F / ‖A‖_F`` against the original data.
+
+        Accepts a :class:`~repro.store.ColumnStore`: the error is then
+        accumulated block by block so neither ``A`` nor ``DC`` is ever
+        materialised in full.
+        """
+        from repro.store.column_store import is_column_store
+
+        if not is_column_store(a):
+            return relative_frobenius_error(a, self.reconstruct())
+        if a.shape != self.shape:
+            raise ValidationError(
+                f"shape mismatch: {a.shape} vs {self.shape}")
+        num_sq = den_sq = 0.0
+        for lo, hi, raw in a.iter_blocks(1024):
+            approx = self.dictionary.atoms @ \
+                self.coefficients.slice_columns(lo, hi).to_dense()
+            num_sq += float(np.sum((raw - approx) ** 2))
+            den_sq += float(np.sum(raw ** 2))
+        if den_sq == 0.0:
+            return 0.0 if num_sq == 0.0 else float("inf")
+        return float(np.sqrt(num_sq / den_sq))
 
     def project_vector(self, x: np.ndarray) -> np.ndarray:
         """``(DC) x`` — the approximated data applied to a vector."""

@@ -24,7 +24,7 @@ from repro.core.alpha import measure_alpha
 from repro.core.cost_model import CostModel
 from repro.errors import TuningError
 from repro.utils.rng import as_generator, derive_seed
-from repro.utils.validation import check_fraction, check_matrix, check_positive_int
+from repro.utils.validation import check_fraction, check_positive_int
 
 
 @dataclass
@@ -84,15 +84,20 @@ def find_min_feasible_size(a, eps: float, *, seed=None,
     bisection relies on; ``trials > 1`` guards against unlucky draws.
     The probes are sequential (each feeds the next bracket) but each
     probe's trials/encode parallelise with ``workers``.
+
+    ``a`` may be a :class:`~repro.store.ColumnStore`; the probes then
+    read only their subset columns from disk.
     """
-    a = check_matrix(a, "A")
+    from repro.store.column_store import check_matrix_or_store, take_columns
+
+    a = check_matrix_or_store(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
     n = a.shape[1]
     limit = min(max_size or n, n)
     rng = as_generator(seed)
     n_sub = max(min(n, int(round(subset_fraction * n))), 2)
     order = rng.permutation(n)
-    sub = a[:, order[:n_sub]]
+    sub = take_columns(a, order[:n_sub])
 
     def feasible(l: int) -> bool:
         # Grow the subset when the probe approaches its column count —
@@ -101,7 +106,7 @@ def find_min_feasible_size(a, eps: float, *, seed=None,
         nonlocal sub
         if 2 * l > sub.shape[1]:
             bigger = min(max(2 * l, sub.shape[1]), n)
-            sub = a[:, order[:bigger]]
+            sub = take_columns(a, order[:bigger])
         if l > sub.shape[1]:
             return False
         obs.inc("tuner.feasibility_probes")
@@ -162,7 +167,9 @@ def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
     TuningError
         When no candidate is feasible at the requested ε.
     """
-    a = check_matrix(a, "A")
+    from repro.store.column_store import check_matrix_or_store, take_columns
+
+    a = check_matrix_or_store(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
     m, n = a.shape
     rng = as_generator(seed)
@@ -188,7 +195,7 @@ def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
             if l > n_eff:
                 continue
             columns_read = max(columns_read, n_eff)
-            sub = a[:, order[:n_eff]]
+            sub = take_columns(a, order[:n_eff])
             est = measure_alpha(sub, l, eps, trials=trials,
                                 seed=derive_seed(seed, 2, l),
                                 workers=workers)
@@ -212,6 +219,7 @@ def _tuning_program(comm, a, eps, objective, candidates, n_sub, order,
     """Rank program: candidates partitioned across ranks (Sec. VII on
     the cluster, embarrassingly parallel), results allgathered."""
     from repro.core.exd import exd_transform
+    from repro.store.column_store import take_columns
 
     rank, p = comm.Get_rank(), comm.Get_size()
     n = a.shape[1]
@@ -223,7 +231,7 @@ def _tuning_program(comm, a, eps, objective, candidates, n_sub, order,
         if l > n_eff:
             continue
         local_read = max(local_read, n_eff)
-        sub = a[:, order[:n_eff]]
+        sub = take_columns(a, order[:n_eff])
         alphas = []
         feasible = True
         for t in range(trials):
@@ -259,8 +267,9 @@ def tune_dictionary_size_distributed(a, eps: float, cost_model: CostModel,
     can be simulated.  Returns ``(TuningResult, SPMDResult)``.
     """
     from repro.mpi.runtime import run_spmd
+    from repro.store.column_store import check_matrix_or_store
 
-    a = check_matrix(a, "A")
+    a = check_matrix_or_store(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
     m, n = a.shape
     rng = as_generator(seed)

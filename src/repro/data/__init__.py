@@ -23,7 +23,12 @@ from repro.data.images import (
     patches_to_image,
     synthetic_image,
 )
-from repro.data.registry import DATASETS, DatasetBundle, load_dataset
+from repro.data.registry import (
+    DATASETS,
+    DatasetBundle,
+    load_dataset,
+    synthesize_to_store,
+)
 
 __all__ = [
     "SubspaceModel",
@@ -41,4 +46,5 @@ __all__ = [
     "DATASETS",
     "DatasetBundle",
     "load_dataset",
+    "synthesize_to_store",
 ]

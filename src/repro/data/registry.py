@@ -111,3 +111,29 @@ def load_dataset(name: str, *, n: int | None = None, scale: float | None = None,
                  "source": entry["source"]})
     return DatasetBundle(name=name, matrix=matrix,
                          paper_shape=entry["paper_shape"], meta=meta)
+
+
+def synthesize_to_store(name: str, path, *, n: int | None = None,
+                        scale: float | None = None, seed=0,
+                        chunk_width: int = 256):
+    """Generate a registered surrogate straight into a column store.
+
+    Returns the opened :class:`~repro.store.ColumnStore`.  Provenance
+    (dataset name, paper shape, seed, generator source) is recorded in
+    the store manifest's ``attrs`` so a store on disk is
+    self-describing.  The surrogate generators produce the matrix in
+    memory first (they are cheap at repro scale); the store is what lets
+    the downstream pipeline treat it as out-of-core.
+    """
+    from repro.store import ColumnStore
+
+    bundle = load_dataset(name, n=n, scale=scale, seed=seed)
+    attrs = {
+        "dataset": bundle.name,
+        "paper_shape": list(bundle.paper_shape),
+        "application": bundle.meta.get("application"),
+        "source": bundle.meta.get("source"),
+        "seed": bundle.meta.get("seed"),
+    }
+    return ColumnStore.from_matrix(path, bundle.matrix,
+                                   chunk_width=chunk_width, attrs=attrs)

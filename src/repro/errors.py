@@ -75,3 +75,13 @@ class PlatformError(ReproError, RuntimeError):
 
 class TuningError(ReproError, RuntimeError):
     """The ExD tuner could not produce a feasible dictionary size."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A streaming-encode checkpoint cannot be created or resumed.
+
+    Raised when a checkpoint directory holds state that conflicts with
+    the requested run (different store contents, different ExD
+    parameters, or a fresh run pointed at a populated directory without
+    ``resume=True``).
+    """

@@ -55,6 +55,51 @@ class OMPResult:
     iterations: int
 
 
+#: Width of the fixed, absolutely-aligned column blocks every matrix
+#: encode uses for its BLAS-3 precomputations (``DᵀA``, column norms).
+#: BLAS results are not column-wise reproducible across different matrix
+#: widths, so the in-memory and out-of-core (:mod:`repro.store`) paths
+#: can only produce bit-identical coefficients if both evaluate those
+#: products over the *same* column partition with the same buffer
+#: layout.  Blocks start at multiples of this constant counted from the
+#: matrix's own first column; 256 columns keeps the per-block GEMM
+#: comfortably in the BLAS-3 regime.
+ENCODE_BLOCK_COLS = 256
+
+
+def encode_block_bounds(n: int, block: int = ENCODE_BLOCK_COLS):
+    """Aligned ``[lo, hi)`` compute-block bounds covering ``n`` columns."""
+    return [(lo, min(lo + block, n)) for lo in range(0, n, block)]
+
+
+def blocked_dta(d: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """``DᵀA`` evaluated block-by-block on contiguous column panels.
+
+    Bit-for-bit reproducible for any storage layout of ``a``: each
+    aligned panel is copied contiguous before the GEMM, so an encode
+    over the full matrix and an encode over any aligned sub-range see
+    identical inputs and produce identical outputs.
+    """
+    out = np.empty((d.shape[1], a.shape[1]), dtype=np.float64)
+    for lo, hi in encode_block_bounds(a.shape[1]):
+        out[:, lo:hi] = d.T @ np.ascontiguousarray(a[:, lo:hi])
+    return out
+
+
+def blocked_column_squares(a: np.ndarray) -> np.ndarray:
+    """Per-column ``‖a_j‖²`` over the same aligned contiguous panels."""
+    out = np.empty(a.shape[1], dtype=np.float64)
+    for lo, hi in encode_block_bounds(a.shape[1]):
+        panel = np.ascontiguousarray(a[:, lo:hi])
+        out[lo:hi] = np.einsum("ij,ij->j", panel, panel)
+    return out
+
+
+def blocked_column_norms(a: np.ndarray) -> np.ndarray:
+    """Per-column ℓ2 norms sharing the blocked reduction schedule."""
+    return np.sqrt(blocked_column_squares(a))
+
+
 def _prepare(d, a):
     d = np.asarray(d, dtype=np.float64)
     a = np.asarray(a, dtype=np.float64)
@@ -287,16 +332,19 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
     with obs.span("omp.encode"):
         if gram is None:
             gram = cached_gram(d)
-        dta_all = d.T @ a  # one BLAS-3 product for all columns: O(M·N·L)
+        # O(M·N·L) in aligned BLAS-3 panels; the fixed partition (not one
+        # whole-matrix product) is what lets the out-of-core streaming
+        # encoder reproduce these bits block by block.
+        dta_all = blocked_dta(d, a)
+        col_sq = blocked_column_squares(a)
         builder = ColumnBuilder(nrows=l)
         total_iters = 0
         converged_mask = np.zeros(n, dtype=bool)
         for j in range(n):
-            col = a[:, j]
             support, coef, res_sq, it, ok = _batch_omp_column(
-                gram, dta_all[:, j], float(col @ col), eps, max_atoms)
+                gram, dta_all[:, j], float(col_sq[j]), eps, max_atoms)
             if strict and not ok:
-                raise _strict_failure(eps, l, res_sq, float(col @ col))
+                raise _strict_failure(eps, l, res_sq, float(col_sq[j]))
             builder.add_column(support, coef)
             total_iters += it
             converged_mask[j] = ok

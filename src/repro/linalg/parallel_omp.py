@@ -222,7 +222,7 @@ class _EncodeShared:
 
     gram: np.ndarray      # DᵀD, (L, L)
     dta: np.ndarray       # DᵀA, (L, N)
-    a: np.ndarray         # the data matrix (for per-column ‖a‖²)
+    col_sq: np.ndarray    # per-column ‖a_j‖², blocked schedule
     eps: float
     max_atoms: int | None
     strict: bool
@@ -244,8 +244,7 @@ def _encode_chunk(shared: _EncodeShared, bounds: tuple[int, int]):
     iterations = np.zeros(hi - lo, dtype=np.int64)
     converged = np.zeros(hi - lo, dtype=bool)
     for j in range(lo, hi):
-        col = shared.a[:, j]
-        a_sq = float(col @ col)
+        a_sq = float(shared.col_sq[j])
         support, coef, res_sq, it, ok = _batch_omp_column(
             shared.gram, shared.dta[:, j], a_sq, shared.eps,
             shared.max_atoms)
@@ -294,7 +293,11 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
     from per-column integers.  Normally reached through
     ``batch_omp_matrix(..., workers=...)`` rather than called directly.
     """
-    from repro.linalg.omp import BatchOMPStats
+    from repro.linalg.omp import (
+        BatchOMPStats,
+        blocked_column_squares,
+        blocked_dta,
+    )
 
     d = np.asarray(d, dtype=np.float64)
     a = np.asarray(a, dtype=np.float64)
@@ -307,7 +310,11 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
     with obs.span("omp.encode"):
         if gram is None:
             gram = cached_gram(d)
-        dta_all = d.T @ a  # one BLAS-3 product for all columns: O(M·N·L)
+        # Same aligned-panel schedule as the serial path (see
+        # repro.linalg.omp.ENCODE_BLOCK_COLS): serial, parallel and
+        # store-streaming encodes all see bit-identical G/DᵀA/‖a_j‖².
+        dta_all = blocked_dta(d, a)
+        col_sq = blocked_column_squares(a)
         if chunk_size is None:
             chunk_size = default_chunk_size(n, nworkers)
         chunk_size = max(int(chunk_size), 1)
@@ -316,8 +323,8 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
         obs.inc("pool.chunks", len(chunks))
         obs.set_gauge("pool.workers", nworkers)
         obs.set_gauge("pool.chunk_size", chunk_size)
-        shared = _EncodeShared(gram=gram, dta=dta_all, a=a, eps=eps,
-                               max_atoms=max_atoms, strict=strict)
+        shared = _EncodeShared(gram=gram, dta=dta_all, col_sq=col_sq,
+                               eps=eps, max_atoms=max_atoms, strict=strict)
         parts = fork_map(_encode_chunk, chunks, shared, nworkers)
 
     failures = [p for p in parts if p[0] == "error"]

@@ -195,6 +195,35 @@ class CSCMatrix:
                          (self.shape[0], self.shape[1] + other.shape[1]),
                          check=False)
 
+    @classmethod
+    def hstack_all(cls, blocks) -> "CSCMatrix":
+        """Concatenate many blocks column-wise in a single pass.
+
+        Equivalent to folding :meth:`hstack` but without the quadratic
+        re-copying; the streaming encoder assembles its per-block
+        coefficient spills with this.
+        """
+        blocks = list(blocks)
+        if not blocks:
+            raise ValidationError("hstack_all needs at least one block")
+        nrows = blocks[0].shape[0]
+        for b in blocks[1:]:
+            if b.shape[0] != nrows:
+                raise ValidationError(
+                    f"row mismatch in hstack_all: {nrows} vs {b.shape[0]}")
+        data = np.concatenate([b.data for b in blocks])
+        indices = np.concatenate([b.indices for b in blocks])
+        ncols = sum(b.shape[1] for b in blocks)
+        indptr = np.zeros(ncols + 1, dtype=np.int64)
+        col = 0
+        offset = 0
+        for b in blocks:
+            w = b.shape[1]
+            indptr[col + 1:col + w + 1] = offset + b.indptr[1:]
+            col += w
+            offset += int(b.indptr[-1])
+        return cls(data, indices, indptr, (nrows, ncols), check=False)
+
     def pad_rows(self, new_nrows: int) -> "CSCMatrix":
         """Zero-pad to ``new_nrows`` rows (Fig. 3's block-diagonal update)."""
         if new_nrows < self.shape[0]:

@@ -1,0 +1,426 @@
+"""On-disk, memory-mapped, column-chunked matrix container.
+
+Layout of a store directory::
+
+    store/
+      manifest.json        # schema, dtype, shape, chunk width, chunks
+      chunks/
+        chunk-000000.npy   # (M, w) C-contiguous array, w <= chunk_width
+        chunk-000001.npy
+        ...
+
+The manifest is the source of truth: every chunk entry records its file
+name, first column, width and a CRC-32 checksum of the raw array bytes.
+Manifest updates are atomic (written to a temp file, then ``os.replace``)
+and chunk files are fully written before the manifest references them,
+so a killed writer can never leave a store that *reads* inconsistently —
+at worst an orphan chunk file sits on disk until the next append
+overwrites it.
+
+Reads go through ``numpy.load(..., mmap_mode="r")``: random access via
+:meth:`ColumnStore.read_columns` touches only the chunks that hold the
+requested columns, which is what lets α estimation and the tuner sample
+a few hundred columns out of a matrix that never fits in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro import observability as obs
+from repro.errors import ValidationError
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = [
+    "ColumnStore",
+    "check_matrix_or_store",
+    "is_column_store",
+    "matrix_shape",
+    "take_columns",
+]
+
+MANIFEST_NAME = "manifest.json"
+CHUNK_DIR = "chunks"
+STORE_FORMAT_VERSION = 1
+DEFAULT_CHUNK_WIDTH = 256
+
+
+def _crc32(arr: np.ndarray) -> str:
+    """CRC-32 of the array's raw bytes, as zero-padded hex."""
+    return f"{zlib.crc32(np.ascontiguousarray(arr).tobytes()):08x}"
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write JSON durably: temp file + fsync + atomic rename."""
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class ColumnStore:
+    """A matrix stored on disk as column chunks, opened by directory.
+
+    Use the classmethod constructors: :meth:`create` (empty store, grown
+    with :meth:`append_columns`), :meth:`from_matrix` (chunk an existing
+    array) or :meth:`open` (attach to a store on disk).  Instances hold
+    no file handles between calls; every read memory-maps just the
+    chunks it needs.
+    """
+
+    def __init__(self, path, manifest: dict) -> None:
+        self.path = Path(path)
+        self._manifest = manifest
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path, m: int, *, chunk_width: int = DEFAULT_CHUNK_WIDTH,
+               dtype: str = "float64", attrs: dict | None = None,
+               exist_ok: bool = False) -> "ColumnStore":
+        """Create an empty store for ``(m, 0)`` data at ``path``."""
+        m = check_positive_int(m, "m")
+        chunk_width = check_positive_int(chunk_width, "chunk_width")
+        np.dtype(dtype)  # validates the name early
+        path = Path(path)
+        if path.exists():
+            if not exist_ok or (path / MANIFEST_NAME).exists():
+                raise ValidationError(
+                    f"refusing to create a column store at existing path "
+                    f"{path}")
+        (path / CHUNK_DIR).mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format_version": STORE_FORMAT_VERSION,
+            "dtype": str(np.dtype(dtype)),
+            "rows": int(m),
+            "columns": 0,
+            "chunk_width": int(chunk_width),
+            "chunks": [],
+            "attrs": dict(attrs or {}),
+        }
+        _atomic_write_json(path / MANIFEST_NAME, manifest)
+        return cls(path, manifest)
+
+    @classmethod
+    def from_matrix(cls, path, a, *, chunk_width: int = DEFAULT_CHUNK_WIDTH,
+                    dtype: str = "float64",
+                    attrs: dict | None = None) -> "ColumnStore":
+        """Chunk a dense matrix into a new store (validates finiteness)."""
+        a = check_matrix(a, "A", dtype=np.dtype(dtype))
+        store = cls.create(path, a.shape[0], chunk_width=chunk_width,
+                           dtype=dtype, attrs=attrs)
+        store.append_columns(a)
+        return store
+
+    @classmethod
+    def open(cls, path) -> "ColumnStore":
+        """Attach to an existing store directory, validating its manifest."""
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ValidationError(
+                f"no column store at {path} (missing {MANIFEST_NAME})")
+        try:
+            with open(manifest_path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (json.JSONDecodeError, OSError) as exc:
+            raise ValidationError(
+                f"corrupt column-store manifest at {manifest_path}: "
+                f"{exc}") from exc
+        version = manifest.get("format_version")
+        if not isinstance(version, int) or version < 1:
+            raise ValidationError(
+                f"{manifest_path} is not a column-store manifest "
+                f"(format_version={version!r})")
+        if version > STORE_FORMAT_VERSION:
+            raise ValidationError(
+                f"column store {path} uses format_version {version}, "
+                f"newer than the latest supported "
+                f"({STORE_FORMAT_VERSION}); upgrade repro to read it")
+        for key in ("dtype", "rows", "columns", "chunk_width", "chunks"):
+            if key not in manifest:
+                raise ValidationError(
+                    f"column-store manifest {manifest_path} is missing "
+                    f"required key {key!r}")
+        return cls(path, manifest)
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(M, N)`` of the stored matrix."""
+        return (int(self._manifest["rows"]), int(self._manifest["columns"]))
+
+    @property
+    def ndim(self) -> int:
+        """Always 2 — a store is a matrix."""
+        return 2
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the stored chunks."""
+        return np.dtype(self._manifest["dtype"])
+
+    @property
+    def chunk_width(self) -> int:
+        """Maximum columns per chunk (the last chunk may be narrower)."""
+        return int(self._manifest["chunk_width"])
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunk files."""
+        return len(self._manifest["chunks"])
+
+    @property
+    def attrs(self) -> dict:
+        """User metadata recorded at creation (dataset provenance etc.)."""
+        return dict(self._manifest.get("attrs", {}))
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across chunks."""
+        m = self.shape[0]
+        return sum(int(c["columns"]) * m * self.dtype.itemsize
+                   for c in self._manifest["chunks"])
+
+    def chunk_bounds(self) -> list[tuple[int, int]]:
+        """``[start, stop)`` column range of every chunk, in order."""
+        return [(int(c["start"]), int(c["start"]) + int(c["columns"]))
+                for c in self._manifest["chunks"]]
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint (shape, dtype and chunk checksums).
+
+        Checkpoints record this to refuse resuming against a store whose
+        contents changed (including appends) since the run started.
+        """
+        parts = [str(self.shape), str(self.dtype),
+                 str(self.chunk_width)]
+        parts += [c["checksum"] for c in self._manifest["chunks"]]
+        return f"{zlib.crc32('|'.join(parts).encode('utf-8')):08x}"
+
+    def __repr__(self) -> str:
+        m, n = self.shape
+        return (f"ColumnStore(path={str(self.path)!r}, shape=({m}, {n}), "
+                f"chunks={self.n_chunks}, chunk_width={self.chunk_width})")
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _chunk_path(self, index: int) -> Path:
+        return self.path / CHUNK_DIR / f"chunk-{index:06d}.npy"
+
+    def _write_chunk(self, index: int, arr: np.ndarray) -> dict:
+        """Write one chunk file atomically; return its manifest entry."""
+        arr = np.ascontiguousarray(arr, dtype=self.dtype)
+        final = self._chunk_path(index)
+        tmp = final.with_suffix(".npy.tmp")
+        with open(tmp, "wb") as fh:
+            np.save(fh, arr)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        return {"file": f"{CHUNK_DIR}/{final.name}",
+                "start": 0,  # caller fixes up
+                "columns": int(arr.shape[1]),
+                "checksum": _crc32(arr)}
+
+    def append_columns(self, a_new) -> int:
+        """Append a block of columns; returns the new total column count.
+
+        The last partial chunk (if any) is rewritten to fill it up to
+        ``chunk_width``; further columns land in fresh chunks.  The
+        manifest is replaced atomically only after every touched chunk
+        file is fully on disk, so readers (and checkpoint fingerprints)
+        never observe a half-appended store.
+        """
+        a_new = check_matrix(a_new, "A_new", dtype=self.dtype)
+        m = self.shape[0]
+        if a_new.shape[0] != m:
+            raise ValidationError(
+                f"appended columns have {a_new.shape[0]} rows, store "
+                f"holds {m}")
+        width = self.chunk_width
+        chunks = [dict(c) for c in self._manifest["chunks"]]
+        pending = a_new
+        appended = a_new.shape[1]
+
+        # Top up the trailing partial chunk first (rewrite in place).
+        if chunks and int(chunks[-1]["columns"]) < width:
+            last = chunks[-1]
+            take = min(width - int(last["columns"]), pending.shape[1])
+            old = self._read_chunk(len(chunks) - 1)
+            merged = np.concatenate([old, pending[:, :take]], axis=1)
+            entry = self._write_chunk(len(chunks) - 1, merged)
+            entry["start"] = int(last["start"])
+            chunks[-1] = entry
+            pending = pending[:, take:]
+
+        start = self.shape[1] + (appended - pending.shape[1])
+        while pending.shape[1]:
+            take = min(width, pending.shape[1])
+            entry = self._write_chunk(len(chunks), pending[:, :take])
+            entry["start"] = start
+            chunks.append(entry)
+            start += take
+            pending = pending[:, take:]
+
+        manifest = dict(self._manifest)
+        manifest["chunks"] = chunks
+        manifest["columns"] = int(self._manifest["columns"]) + appended
+        _atomic_write_json(self.path / MANIFEST_NAME, manifest)
+        self._manifest = manifest
+        obs.inc("store.columns_appended", appended)
+        return manifest["columns"]
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def _read_chunk(self, index: int, *, mmap: bool = True) -> np.ndarray:
+        entry = self._manifest["chunks"][index]
+        path = self.path / entry["file"]
+        if not path.exists():
+            raise ValidationError(
+                f"column store {self.path} is missing chunk file "
+                f"{entry['file']}")
+        try:
+            arr = np.load(path, mmap_mode="r" if mmap else None)
+        except (ValueError, OSError) as exc:
+            raise ValidationError(
+                f"corrupt chunk file {path}: {exc}") from exc
+        if arr.ndim != 2 or arr.shape != (self.shape[0],
+                                          int(entry["columns"])):
+            raise ValidationError(
+                f"chunk file {path} has shape {arr.shape}, manifest "
+                f"says ({self.shape[0]}, {entry['columns']})")
+        obs.inc("store.chunks_read")
+        obs.inc("store.bytes_read", arr.size * arr.itemsize)
+        return arr
+
+    def read_range(self, lo: int, hi: int) -> np.ndarray:
+        """Contiguous columns ``[lo, hi)`` as a fresh C-contiguous array.
+
+        Only the chunks overlapping the range are opened.
+        """
+        m, n = self.shape
+        if not (0 <= lo <= hi <= n):
+            raise ValidationError(
+                f"invalid column range [{lo}, {hi}) for N={n}")
+        out = np.empty((m, hi - lo), dtype=self.dtype)
+        for index, (start, stop) in enumerate(self.chunk_bounds()):
+            if stop <= lo or start >= hi:
+                continue
+            arr = self._read_chunk(index)
+            a, b = max(lo, start), min(hi, stop)
+            out[:, a - lo:b - lo] = arr[:, a - start:b - start]
+        return out
+
+    def read_columns(self, cols) -> np.ndarray:
+        """Gather an arbitrary column subset (chunks opened at most once).
+
+        Equivalent to ``A[:, cols]`` on the dense matrix — duplicate and
+        unsorted indices are honoured in order.
+        """
+        cols = np.asarray(cols, dtype=np.int64)
+        if cols.ndim != 1:
+            raise ValidationError("cols must be 1-D")
+        m, n = self.shape
+        if cols.size and (cols.min() < 0 or cols.max() >= n):
+            raise ValidationError(
+                f"column index out of range [0, {n})")
+        out = np.empty((m, cols.size), dtype=self.dtype)
+        bounds = self.chunk_bounds()
+        starts = np.asarray([b[0] for b in bounds], dtype=np.int64)
+        owner = (np.searchsorted(starts, cols, side="right") - 1
+                 if cols.size else np.empty(0, dtype=np.int64))
+        for index in np.unique(owner):
+            arr = self._read_chunk(int(index))
+            mask = owner == index
+            out[:, mask] = arr[:, cols[mask] - starts[index]]
+        return out
+
+    def iter_chunks(self):
+        """Yield ``(start, stop, array)`` per chunk, memory-mapped."""
+        for index, (start, stop) in enumerate(self.chunk_bounds()):
+            yield start, stop, self._read_chunk(index)
+
+    def iter_blocks(self, width: int):
+        """Yield ``(lo, hi, array)`` over fixed-width column blocks.
+
+        Blocks start at multiples of ``width`` from column 0 and the
+        arrays are fresh C-contiguous copies — the read pattern of the
+        streaming encoder.
+        """
+        width = check_positive_int(width, "width")
+        n = self.shape[1]
+        for lo in range(0, n, width):
+            hi = min(lo + width, n)
+            yield lo, hi, self.read_range(lo, hi)
+
+    def as_array(self) -> np.ndarray:
+        """Materialise the full matrix densely (tests / small stores)."""
+        return self.read_range(0, self.shape[1])
+
+    def verify(self) -> bool:
+        """Check every chunk file against its manifest checksum.
+
+        Returns ``True`` when all chunks are intact; raises
+        :class:`~repro.errors.ValidationError` naming the first corrupt
+        or missing chunk otherwise.
+        """
+        for index, entry in enumerate(self._manifest["chunks"]):
+            arr = self._read_chunk(index, mmap=False)
+            got = _crc32(arr)
+            if got != entry["checksum"]:
+                raise ValidationError(
+                    f"chunk {entry['file']} of {self.path} fails its "
+                    f"checksum (manifest {entry['checksum']}, file {got})")
+        return True
+
+
+# ----------------------------------------------------------------------
+# ndarray-or-store adapters used by the core entry points
+# ----------------------------------------------------------------------
+def is_column_store(obj) -> bool:
+    """Whether ``obj`` is a :class:`ColumnStore`."""
+    return isinstance(obj, ColumnStore)
+
+
+def matrix_shape(a) -> tuple[int, int]:
+    """``(M, N)`` of an ndarray-like or a :class:`ColumnStore`."""
+    return tuple(int(s) for s in a.shape)
+
+
+def take_columns(a, cols) -> np.ndarray:
+    """``A[:, cols]`` as a dense array, for ndarray or store input."""
+    if is_column_store(a):
+        return a.read_columns(np.asarray(cols, dtype=np.int64))
+    return a[:, np.asarray(cols, dtype=np.int64)]
+
+
+def check_matrix_or_store(a, name: str = "A"):
+    """Validate ``a`` as a data matrix; stores pass through unchanged.
+
+    ndarray-likes get the usual :func:`check_matrix` treatment (dtype,
+    2-D, finiteness); a :class:`ColumnStore` is accepted as-is — its
+    chunks were finiteness-checked when written.
+    """
+    if is_column_store(a):
+        if a.shape[0] == 0 or a.shape[1] == 0:
+            raise ValidationError(
+                f"{name} must be non-empty, got store shape {a.shape}")
+        if a.dtype != np.float64:
+            raise ValidationError(
+                f"{name} must hold float64 data for encoding, got store "
+                f"dtype {a.dtype}")
+        return a
+    return check_matrix(a, name)

@@ -125,6 +125,107 @@ class TestConvergedMask:
                                       par.transform.coefficients.data)
 
 
+def _assert_same_extension(res_a, res_b):
+    """Bitwise equality of two ExtensionResults."""
+    assert res_a.appended_columns == res_b.appended_columns
+    assert res_a.extended_columns == res_b.extended_columns
+    assert res_a.dictionary_grew == res_b.dictionary_grew
+    ta, tb = res_a.transform, res_b.transform
+    np.testing.assert_array_equal(ta.dictionary.atoms, tb.dictionary.atoms)
+    np.testing.assert_array_equal(ta.dictionary.indices,
+                                  tb.dictionary.indices)
+    np.testing.assert_array_equal(ta.coefficients.data, tb.coefficients.data)
+    np.testing.assert_array_equal(ta.coefficients.indices,
+                                  tb.coefficients.indices)
+    np.testing.assert_array_equal(ta.coefficients.indptr,
+                                  tb.coefficients.indptr)
+
+
+class TestBlockedExtension:
+    """Satellite: new columns fed in blocks == single-shot extension.
+
+    The streamed (store-backed) path encodes the new columns in
+    fixed-width blocks; the dense path sees them all at once.  Both use
+    the same absolutely-aligned 256-column encode panels, so the results
+    must match bit for bit — serial and parallel alike.
+    """
+
+    @pytest.fixture(scope="class")
+    def representable(self, base):
+        _, model, _ = base
+        r = np.random.default_rng(123)
+        return np.stack(
+            [model.bases[i % 2] @ r.standard_normal(2) for i in range(520)],
+            axis=1)
+
+    @pytest.fixture(scope="class")
+    def novel(self):
+        cols, _ = union_of_subspaces(24, 300, n_subspaces=1, dim=3,
+                                     noise=0.0, seed=88)
+        return cols
+
+    def _store(self, tmp_path, cols, chunk_width):
+        from repro.store import ColumnStore
+        return ColumnStore.from_matrix(tmp_path / "new.store", cols,
+                                       chunk_width=chunk_width)
+
+    def test_store_blocks_equal_single_shot_append(self, base, representable,
+                                                   tmp_path):
+        _, _, t = base
+        single = extend_transform(t, representable, seed=5)
+        assert not single.dictionary_grew
+        store = self._store(tmp_path, representable, 128)
+        blocked = extend_transform(t, store, seed=5, block_width=256)
+        _assert_same_extension(single, blocked)
+
+    def test_store_blocks_equal_single_shot_growth(self, base, novel,
+                                                   tmp_path):
+        _, _, t = base
+        single = extend_transform(t, novel, seed=5)
+        assert single.dictionary_grew
+        store = self._store(tmp_path, novel, 64)
+        blocked = extend_transform(t, store, seed=5, block_width=256)
+        _assert_same_extension(single, blocked)
+
+    @pytest.mark.parametrize("cols_fixture", ["representable", "novel"])
+    def test_workers_match_serial_both_paths(self, base, cols_fixture,
+                                             tmp_path, request):
+        _, _, t = base
+        cols = request.getfixturevalue(cols_fixture)
+        serial = extend_transform(t, cols, seed=5)
+        par = extend_transform(t, cols, seed=5, workers=2)
+        _assert_same_extension(serial, par)
+        store = self._store(tmp_path, cols, 128)
+        par_store = extend_transform(t, store, seed=5, workers=2,
+                                     block_width=256)
+        _assert_same_extension(serial, par_store)
+
+    def test_sequential_batches_equal_single_shot_append(self, base,
+                                                         representable):
+        """Append-only updates compose: feeding the new columns in
+        256-aligned batches over repeated calls produces the same final
+        transform as one call with everything (growth never triggers, so
+        the dictionary each batch encodes against is identical)."""
+        _, _, t = base
+        single = extend_transform(t, representable, seed=5)
+        current = t
+        counts = 0
+        for lo in range(0, representable.shape[1], 256):
+            res = extend_transform(current, representable[:, lo:lo + 256],
+                                   seed=5)
+            assert not res.dictionary_grew
+            counts += res.appended_columns
+            current = res.transform
+        assert counts == single.appended_columns
+        np.testing.assert_array_equal(current.dictionary.atoms,
+                                      single.transform.dictionary.atoms)
+        np.testing.assert_array_equal(
+            current.coefficients.data, single.transform.coefficients.data)
+        np.testing.assert_array_equal(
+            current.coefficients.indptr,
+            single.transform.coefficients.indptr)
+
+
 class TestValidation:
     def test_row_mismatch(self, base):
         _, _, t = base

@@ -1,5 +1,8 @@
 """Transform persistence tests."""
 
+import json
+import warnings
+
 import numpy as np
 import pytest
 
@@ -30,11 +33,27 @@ class TestSaveLoad:
 
     def test_meta_preserved(self, transform, tmp_path):
         transform.meta["note"] = "hello"
-        transform.meta["unpicklable"] = object()  # silently dropped
         back = load_transform(save_transform(transform, tmp_path / "t"))
         assert back.meta["note"] == "hello"
-        assert "unpicklable" not in back.meta
         assert back.meta["normalized"] == transform.meta["normalized"]
+
+    def test_non_scalar_meta_dropped_with_warning(self, transform, tmp_path):
+        transform.meta["note"] = "kept"
+        transform.meta["unserialisable"] = object()
+        transform.meta["array"] = np.ones(3)
+        with pytest.warns(UserWarning,
+                          match=r"\['array', 'unserialisable'\]"):
+            path = save_transform(transform, tmp_path / "t")
+        back = load_transform(path)
+        assert back.meta["note"] == "kept"
+        assert "unserialisable" not in back.meta
+        assert "array" not in back.meta
+
+    def test_scalar_meta_saves_without_warning(self, transform, tmp_path):
+        transform.meta["note"] = "hello"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            save_transform(transform, tmp_path / "t")
 
     def test_suffix_added_once(self, transform, tmp_path):
         path = save_transform(transform, tmp_path / "t.npz")
@@ -49,6 +68,52 @@ class TestSaveLoad:
         np.savez(path, a=np.ones(3))
         with pytest.raises(ValidationError, match="not a repro transform"):
             load_transform(path)
+
+    def test_not_a_zip_at_all(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ValidationError,
+                           match="garbage.npz is corrupt or truncated"):
+            load_transform(path)
+
+    def test_truncated_archive(self, transform, tmp_path):
+        path = save_transform(transform, tmp_path / "t")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ValidationError,
+                           match="corrupt or truncated"):
+            load_transform(path)
+
+    def test_newer_format_version_rejected(self, transform, tmp_path):
+        from repro.core import io as core_io
+
+        path = save_transform(transform, tmp_path / "t")
+        with np.load(path) as blob:
+            arrays = {k: blob[k] for k in blob.files}
+        header = json.loads(bytes(arrays["header"]).decode("utf-8"))
+        header["format_version"] = core_io._FORMAT_VERSION + 1
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(ValidationError,
+                           match="newer than the latest supported"):
+            load_transform(path)
+
+    def test_invalid_format_version_rejected(self, transform, tmp_path):
+        from repro.core import io as core_io
+
+        path = save_transform(transform, tmp_path / "t")
+        with np.load(path) as blob:
+            arrays = {k: blob[k] for k in blob.files}
+        header = json.loads(bytes(arrays["header"]).decode("utf-8"))
+        header["format_version"] = "banana"
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(ValidationError,
+                           match="unsupported transform format"):
+            load_transform(path)
+        assert core_io._FORMAT_VERSION == 1
 
     def test_loaded_transform_is_usable(self, transform, tmp_path, rng):
         back = load_transform(save_transform(transform, tmp_path / "t"))

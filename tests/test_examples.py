@@ -12,7 +12,7 @@ ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 
 #: Fast enough to execute inside the unit-test suite (< ~15 s each).
 FAST_EXAMPLES = ("evolving_data.py", "subspace_clustering.py",
-                 "execution_timeline.py")
+                 "execution_timeline.py", "out_of_core.py")
 
 
 def test_examples_exist():

@@ -1,0 +1,306 @@
+"""Out-of-core column store + streaming encoder tests.
+
+The load-bearing claim of ``repro.store`` is bit-identity: every
+store-backed path (any block width, worker count, kill/resume point)
+must reproduce the in-memory result exactly.  These tests pin that
+down, plus the container's durability story (checksums, atomic
+manifests, checkpoint refusal semantics) and the Eq. 4 memory budget.
+"""
+
+import json
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExtDict,
+    exd_transform,
+    measure_alpha,
+    tune_dictionary_size,
+)
+from repro.core.cost_model import CostModel
+from repro.data.subspaces import union_of_subspaces
+from repro.errors import ValidationError
+from repro.platform import platform_by_name
+from repro.store import (
+    CheckpointError,
+    ColumnStore,
+    StreamingEncoder,
+    check_matrix_or_store,
+    is_column_store,
+    plan_block_width,
+    take_columns,
+)
+
+M, N, L, EPS = 32, 2100, 40, 0.1
+
+
+@pytest.fixture(scope="module")
+def data():
+    a, _ = union_of_subspaces(M, N, n_subspaces=4, dim=3,
+                              noise=0.01, seed=5)
+    return a
+
+
+@pytest.fixture()
+def store(data, tmp_path):
+    s = ColumnStore.from_matrix(tmp_path / "a.store", data, chunk_width=256)
+    assert s.n_chunks >= 8  # the acceptance criterion's chunking floor
+    return s
+
+
+class TestColumnStore:
+    def test_round_trip(self, data, store):
+        assert store.shape == data.shape
+        assert store.dtype == np.float64
+        np.testing.assert_array_equal(store.as_array(), data)
+
+    def test_open_rereads_manifest(self, data, store, tmp_path):
+        again = ColumnStore.open(tmp_path / "a.store")
+        assert again.shape == data.shape
+        assert again.fingerprint() == store.fingerprint()
+
+    def test_read_columns_scattered(self, data, store):
+        cols = np.array([0, 1, 255, 256, 1024, N - 1, 7])
+        np.testing.assert_array_equal(store.read_columns(cols),
+                                      data[:, cols])
+
+    def test_read_range(self, data, store):
+        np.testing.assert_array_equal(store.read_range(100, 700),
+                                      data[:, 100:700])
+
+    def test_iter_blocks_covers_matrix(self, data, store):
+        seen = []
+        for lo, hi, block in store.iter_blocks(512):
+            assert lo % 512 == 0
+            np.testing.assert_array_equal(block, data[:, lo:hi])
+            seen.append((lo, hi))
+        assert seen[0][0] == 0 and seen[-1][1] == N
+
+    def test_append_tops_up_partial_chunk(self, data, tmp_path, rng):
+        s = ColumnStore.from_matrix(tmp_path / "p.store", data[:, :300],
+                                    chunk_width=256)
+        extra = rng.standard_normal((M, 100))
+        s.append_columns(extra)
+        assert s.shape == (M, 400)
+        # 300 = 256 + 44; the 100 new columns top the partial chunk up
+        # to 256 and leave one new chunk of 144.
+        assert s.n_chunks == 2
+        np.testing.assert_array_equal(
+            s.as_array(), np.concatenate([data[:, :300], extra], axis=1))
+
+    def test_verify_detects_corruption(self, store, tmp_path):
+        assert store.verify()
+        chunk = sorted((tmp_path / "a.store" / "chunks").iterdir())[2]
+        blob = bytearray(chunk.read_bytes())
+        blob[-1] ^= 0xFF
+        chunk.write_bytes(bytes(blob))
+        with pytest.raises(ValidationError, match="checksum"):
+            ColumnStore.open(tmp_path / "a.store").verify()
+
+    def test_fingerprint_tracks_content(self, store, rng):
+        before = store.fingerprint()
+        store.append_columns(rng.standard_normal((M, 10)))
+        assert store.fingerprint() != before
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(ValidationError, match="no column store"):
+            ColumnStore.open(tmp_path / "absent")
+
+    def test_open_newer_format(self, store, tmp_path):
+        manifest = tmp_path / "a.store" / "manifest.json"
+        doc = json.loads(manifest.read_text())
+        doc["format_version"] = 999
+        manifest.write_text(json.dumps(doc))
+        with pytest.raises(ValidationError, match="newer than"):
+            ColumnStore.open(tmp_path / "a.store")
+
+    def test_adapters(self, data, store):
+        assert is_column_store(store) and not is_column_store(data)
+        assert check_matrix_or_store(store, "A") is store
+        cols = [5, 300, 2000]
+        np.testing.assert_array_equal(take_columns(store, cols),
+                                      data[:, cols])
+        np.testing.assert_array_equal(take_columns(data, cols),
+                                      data[:, cols])
+
+
+class TestStreamingBitIdentity:
+    """Store-backed exd_transform == in-memory, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, data):
+        return exd_transform(data, L, EPS, seed=2)
+
+    @pytest.mark.parametrize("block_width", [256, 1024])
+    def test_block_widths(self, data, store, reference, block_width):
+        ref_t, ref_stats = reference
+        t, stats = exd_transform(store, L, EPS, seed=2,
+                                 block_width=block_width)
+        np.testing.assert_array_equal(t.dictionary.atoms,
+                                      ref_t.dictionary.atoms)
+        np.testing.assert_array_equal(t.dictionary.indices,
+                                      ref_t.dictionary.indices)
+        np.testing.assert_array_equal(t.coefficients.data,
+                                      ref_t.coefficients.data)
+        np.testing.assert_array_equal(t.coefficients.indices,
+                                      ref_t.coefficients.indices)
+        np.testing.assert_array_equal(t.coefficients.indptr,
+                                      ref_t.coefficients.indptr)
+        assert stats == ref_stats
+
+    def test_workers_parity(self, store, reference):
+        ref_t, ref_stats = reference
+        t, stats = exd_transform(store, L, EPS, seed=2, workers=2,
+                                 block_width=512)
+        np.testing.assert_array_equal(t.coefficients.data,
+                                      ref_t.coefficients.data)
+        assert stats == ref_stats
+
+    def test_transformation_error_blockwise(self, data, store, reference):
+        ref_t, _ = reference
+        assert ref_t.transformation_error(store) == pytest.approx(
+            ref_t.transformation_error(data), abs=1e-12)
+
+    def test_streaming_knobs_require_store(self, data, tmp_path):
+        with pytest.raises(ValidationError, match="require a ColumnStore"):
+            exd_transform(data, L, EPS, seed=2,
+                          checkpoint_dir=tmp_path / "ck")
+
+    def test_misaligned_block_width_rejected(self, store):
+        with pytest.raises(ValidationError, match="multiple of 256"):
+            exd_transform(store, L, EPS, seed=2, block_width=300)
+
+
+class TestCheckpointResume:
+    def _encoder(self, store, ck, **kwargs):
+        return StreamingEncoder(store, L, EPS, seed=2, checkpoint_dir=ck,
+                                block_width=kwargs.pop("block_width", 256),
+                                **kwargs)
+
+    def test_full_resume_reads_nothing(self, store, tmp_path):
+        ck = tmp_path / "ck"
+        t1, s1, r1 = self._encoder(store, ck).run()
+        assert r1.blocks_encoded == r1.blocks_total and not r1.resumed
+        t2, s2, r2 = self._encoder(store, ck).run(resume=True)
+        assert r2.resumed and r2.blocks_reused == r1.blocks_total
+        assert r2.chunks_read == 0 and r2.bytes_read == 0
+        np.testing.assert_array_equal(t1.coefficients.data,
+                                      t2.coefficients.data)
+        assert s1 == s2
+
+    def test_partial_resume_reencodes_only_missing(self, store, tmp_path):
+        ck = tmp_path / "ck"
+        t1, _, r1 = self._encoder(store, ck).run()
+        spills = sorted((ck / "blocks").iterdir())
+        for victim in (spills[0], spills[3]):
+            victim.unlink()
+        with pytest.warns(UserWarning, match="re-encod"):
+            t2, _, r2 = self._encoder(store, ck).run(resume=True)
+        assert r2.blocks_encoded == 2
+        assert r2.blocks_reused == r1.blocks_total - 2
+        np.testing.assert_array_equal(t1.coefficients.data,
+                                      t2.coefficients.data)
+        np.testing.assert_array_equal(t1.coefficients.indptr,
+                                      t2.coefficients.indptr)
+
+    def test_fresh_run_refuses_existing_checkpoint(self, store, tmp_path):
+        ck = tmp_path / "ck"
+        self._encoder(store, ck).run()
+        with pytest.raises(CheckpointError, match="resume=True"):
+            self._encoder(store, ck).run()
+
+    def test_param_mismatch_refused(self, store, tmp_path):
+        ck = tmp_path / "ck"
+        self._encoder(store, ck).run()
+        bad = StreamingEncoder(store, L, 0.2, seed=2, checkpoint_dir=ck,
+                               block_width=256)
+        with pytest.raises(CheckpointError, match="eps"):
+            bad.run(resume=True)
+
+    def test_store_change_refused(self, store, tmp_path, rng):
+        ck = tmp_path / "ck"
+        self._encoder(store, ck).run()
+        store.append_columns(rng.standard_normal((M, 5)))
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            self._encoder(store, ck).run(resume=True)
+
+    def test_unpinned_resume_adopts_checkpoint_width(self, store, tmp_path):
+        """Regression: `--resume` without repeating the budget flag must
+        adopt the checkpoint's block width, not fail on a mismatch."""
+        ck = tmp_path / "ck"
+        t1, _, r1 = self._encoder(store, ck, block_width=512).run()
+        enc = StreamingEncoder(store, L, EPS, seed=2, checkpoint_dir=ck)
+        t2, _, r2 = enc.run(resume=True)
+        assert r2.block_width == 512
+        assert r2.blocks_reused == r1.blocks_total
+        np.testing.assert_array_equal(t1.coefficients.data,
+                                      t2.coefficients.data)
+
+    def test_pinned_resume_still_strict(self, store, tmp_path):
+        ck = tmp_path / "ck"
+        self._encoder(store, ck, block_width=512).run()
+        with pytest.raises(CheckpointError, match="block_width"):
+            self._encoder(store, ck, block_width=256).run(resume=True)
+
+
+class TestMemoryBudget:
+    def test_plan_block_width_aligned(self):
+        w = plan_block_width(M, L, 4 << 20, n=N)
+        assert w % 256 == 0 and w > 0
+
+    def test_tiny_budget_floors_with_warning(self):
+        with pytest.warns(UserWarning, match="budget"):
+            assert plan_block_width(M, L, 1024) == 256
+
+    def test_peak_memory_tracks_budget(self, tmp_path):
+        """Streaming keeps the working set near the planned budget
+        instead of materialising A.  tracemalloc bounds are generous:
+        allocator slack, the spill CSC triples and the final assembled
+        C all ride on top of the planned block."""
+        a, _ = union_of_subspaces(64, 4096, n_subspaces=4, dim=3,
+                                  noise=0.01, seed=6)
+        s = ColumnStore.from_matrix(tmp_path / "big.store", a,
+                                    chunk_width=512)
+        del a
+        budget = 1 << 20
+        enc = StreamingEncoder(s, 48, EPS, seed=0,
+                               memory_budget_bytes=budget)
+        tracemalloc.start()
+        enc.run()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        full = 64 * 4096 * 8  # 2 MiB: what in-memory would materialise
+        assert peak < 4 * budget + full // 2
+
+
+class TestSubsetReaders:
+    """α estimation and the tuner read from disk, same answers."""
+
+    def test_measure_alpha_parity(self, data, store):
+        ref = measure_alpha(data, L, EPS, trials=2, seed=4)
+        est = measure_alpha(store, L, EPS, trials=2, seed=4)
+        assert est.values == ref.values
+        assert est.feasible == ref.feasible
+
+    def test_tuner_parity(self, data, store):
+        model = CostModel(platform_by_name("1x4"))
+        ref = tune_dictionary_size(data, EPS, model, seed=4,
+                                   candidates=[24, 48, 96])
+        got = tune_dictionary_size(store, EPS, model, seed=4,
+                                   candidates=[24, 48, 96])
+        assert got.best_size == ref.best_size
+        assert got.table == ref.table
+
+
+class TestFrameworkStore:
+    def test_from_store_matches_dense_fit(self, data, store, tmp_path):
+        dense = ExtDict(EPS, size=L, seed=2).fit(data)
+        backed = ExtDict.from_store(store.path, eps=EPS, size=L, seed=2)
+        np.testing.assert_array_equal(
+            backed.transform_.dictionary.atoms,
+            dense.transform_.dictionary.atoms)
+        np.testing.assert_array_equal(
+            backed.transform_.coefficients.data,
+            dense.transform_.coefficients.data)

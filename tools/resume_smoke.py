@@ -1,0 +1,146 @@
+"""Kill-and-resume smoke test for the streaming encoder.
+
+Run as ``PYTHONPATH=src python tools/resume_smoke.py``.  The script
+
+1. ingests a dataset surrogate into a column store,
+2. launches a child process that streams the transform with
+   checkpoints (the child slows each block down so the kill window is
+   wide),
+3. SIGKILLs the child once some — but not all — blocks are
+   checkpointed,
+4. resumes in this process and checks the result is bit-identical to
+   an uninterrupted in-memory run.
+
+Uses explicit ``if``/``raise`` checks so it also works under
+``python -O``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SIZE = 48
+EPS = 0.1
+SEED = 1
+N_COLS = 2048
+BLOCK_WIDTH = 256  # -> 8 blocks
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"resume smoke FAILED: {message}")
+
+
+def child(store_dir: str, ck_dir: str) -> int:
+    """Stream with checkpoints, ~0.25 s per block so the parent can
+    catch us mid-run."""
+    import repro.store.streaming as streaming
+    from repro.store import ColumnStore, StreamingEncoder
+
+    real = streaming.batch_omp_matrix
+
+    def slow(*args, **kwargs):
+        time.sleep(0.25)
+        return real(*args, **kwargs)
+
+    streaming.batch_omp_matrix = slow
+    store = ColumnStore.open(store_dir)
+    enc = StreamingEncoder(store, SIZE, EPS, seed=SEED,
+                           block_width=BLOCK_WIDTH, checkpoint_dir=ck_dir)
+    enc.run()
+    return 0
+
+
+def completed_blocks(ck_dir: Path) -> int:
+    path = ck_dir / "checkpoint.json"
+    if not path.exists():
+        return 0
+    try:
+        return len(json.loads(path.read_text()).get("blocks", []))
+    except (json.JSONDecodeError, OSError):
+        return 0  # mid-replace; try again
+
+
+def main() -> int:
+    import numpy as np
+
+    from repro.core import exd_transform
+    from repro.data import synthesize_to_store
+    from repro.store import ColumnStore, StreamingEncoder
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        store_dir, ck_dir = root / "a.store", root / "ck"
+        store = synthesize_to_store("salina", store_dir, n=N_COLS, seed=3,
+                                    chunk_width=256)
+        n_blocks = -(-N_COLS // BLOCK_WIDTH)
+
+        proc = subprocess.Popen(
+            [sys.executable, os.path.abspath(__file__), "--child",
+             str(store_dir), str(ck_dir)],
+            env={**os.environ,
+                 "PYTHONPATH": str(Path(__file__).parent.parent / "src")})
+        try:
+            deadline = time.monotonic() + 120
+            while True:
+                check(time.monotonic() < deadline,
+                      "child never reached 2 completed blocks")
+                check(proc.poll() is None,
+                      f"child exited early (rc={proc.returncode}) before "
+                      f"we could kill it")
+                done = completed_blocks(ck_dir)
+                if 2 <= done < n_blocks:
+                    break
+                time.sleep(0.02)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        killed_at = completed_blocks(ck_dir)
+        check(0 < killed_at < n_blocks,
+              f"kill landed outside the encode ({killed_at}/{n_blocks} "
+              f"blocks done)")
+        print(f"killed child after {killed_at}/{n_blocks} blocks")
+
+        enc = StreamingEncoder(ColumnStore.open(store_dir), SIZE, EPS,
+                               seed=SEED, block_width=BLOCK_WIDTH,
+                               checkpoint_dir=ck_dir)
+        t, stats, report = enc.run(resume=True)
+        check(report.resumed, "resume did not pick up the checkpoint")
+        check(report.blocks_reused >= killed_at,
+              f"resume reused {report.blocks_reused} blocks, expected "
+              f">= {killed_at}")
+        print(f"resumed: reused {report.blocks_reused}, "
+              f"re-encoded {report.blocks_encoded}")
+
+        ref, ref_stats = exd_transform(store.as_array(), SIZE, EPS,
+                                       seed=SEED)
+        for name, got, want in [
+            ("atoms", t.dictionary.atoms, ref.dictionary.atoms),
+            ("atom indices", t.dictionary.indices, ref.dictionary.indices),
+            ("C data", t.coefficients.data, ref.coefficients.data),
+            ("C indices", t.coefficients.indices, ref.coefficients.indices),
+            ("C indptr", t.coefficients.indptr, ref.coefficients.indptr),
+        ]:
+            check(np.array_equal(got, want),
+                  f"{name} differ between resumed and in-memory runs")
+        check(stats.flops == ref_stats.flops,
+              f"flops differ: {stats.flops} != {ref_stats.flops}")
+        print("resumed run is bit-identical to the in-memory transform")
+    print("resume smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 4 and sys.argv[1] == "--child":
+        sys.exit(child(sys.argv[2], sys.argv[3]))
+    sys.exit(main())
