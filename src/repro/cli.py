@@ -15,6 +15,11 @@ Commands
 ``pca``
     Top-k PCA through a transform, with the exact spectrum and the
     learning error (the Fig. 10/12 measurement for one configuration).
+``serve``
+    Long-lived HTTP encode service: loads fitted transforms, keeps
+    their Gram matrices warm and micro-batches concurrent
+    single-column encodes into shared-``G`` Batch-OMP calls
+    (see :mod:`repro.serve`).
 
 Input data is either a named surrogate (``--dataset salina``), a
 ``.npy`` file of shape ``(M, N)`` (``--input``), or — for ``tune`` and
@@ -163,14 +168,19 @@ def cmd_transform(args) -> int:
     a = _load_matrix(args)
     streamed = is_column_store(a)
     if not streamed and (args.checkpoint or args.resume
-                         or args.memory_budget_mb or args.block_width):
+                         or args.memory_budget_mb is not None
+                         or args.block_width is not None):
         raise ReproError("--checkpoint/--resume/--memory-budget-mb/"
                          "--block-width require --store")
     if streamed and args.distributed:
         raise ReproError("--distributed encodes in memory; it cannot be "
                          "combined with --store")
+    if args.memory_budget_mb is not None and args.memory_budget_mb <= 0:
+        raise ReproError(
+            f"--memory-budget-mb must be positive, got "
+            f"{args.memory_budget_mb}")
     budget = (int(args.memory_budget_mb * 2**20)
-              if args.memory_budget_mb else None)
+              if args.memory_budget_mb is not None else None)
     if args.size is not None:
         if args.distributed:
             transform, stats, spmd = exd_transform_distributed(
@@ -204,6 +214,7 @@ def cmd_transform(args) -> int:
                       objective=args.objective, seed=args.seed,
                       workers=args.workers,
                       memory_budget_bytes=budget,
+                      block_width=args.block_width,
                       checkpoint_dir=args.checkpoint).fit(
                           a, resume=args.resume)
         transform, stats = ext.transform_, ext.stats_
@@ -239,6 +250,50 @@ def cmd_pca(args) -> int:
     if cluster is not None:
         print(f"simulated runtime on {cluster.name}: "
               f"{res.simulated_time * 1e3:.3f} ms")
+    return 0
+
+
+def _parse_transform_spec(spec: str) -> tuple[str, str]:
+    """Split a ``[tenant=]PATH`` --transform argument."""
+    tenant, sep, path = spec.partition("=")
+    if sep and tenant and "/" not in tenant and "\\" not in tenant:
+        return tenant, path
+    return "default", spec
+
+
+def cmd_serve(args) -> int:
+    """Run the long-lived encode service (see :mod:`repro.serve`)."""
+    import asyncio
+
+    from repro.serve import ServeApp
+
+    if args.max_batch < 1:
+        raise ReproError(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.max_queue < 1:
+        raise ReproError(f"--max-queue must be >= 1, got {args.max_queue}")
+    if args.max_wait_ms < 0:
+        raise ReproError(
+            f"--max-wait-ms must be >= 0, got {args.max_wait_ms}")
+    cost_model = (CostModel(platform_by_name(args.platform))
+                  if args.platform else None)
+    app = ServeApp(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+                   max_queue=args.max_queue, timeout_ms=args.timeout_ms,
+                   cost_model=cost_model, workers=args.workers)
+    for spec in args.transform or []:
+        tenant, path = _parse_transform_spec(spec)
+        gen = app.registry.load(tenant, path)
+        print(f"loaded {path} as tenant {tenant!r} generation "
+              f"{gen.number} (M={gen.transform.m}, L={gen.transform.l})")
+    if not args.transform:
+        print("warning: no --transform given; load dictionaries via "
+              "POST /v1/dictionaries", file=sys.stderr)
+    print(f"serving on http://{args.host}:{args.port} "
+          f"(max_batch={app.batcher.max_batch}, "
+          f"max_wait_ms={args.max_wait_ms})")
+    try:
+        asyncio.run(app.run_forever(args.host, args.port))
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 
@@ -318,6 +373,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--out", default="transform.npz",
                       help="output path (default: transform.npz)")
 
+    p_srv = sub.add_parser("serve", help="run the low-latency encode "
+                                         "service")
+    _add_observability_arguments(p_srv)
+    p_srv.add_argument("--transform", action="append", default=None,
+                       metavar="[TENANT=]FILE.npz",
+                       help="fitted transform to load at startup "
+                            "(repeatable; tenant defaults to 'default')")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8000)
+    p_srv.add_argument("--max-batch", type=int, default=64,
+                       help="largest coalesced encode batch (default: 64)")
+    p_srv.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="batching window after the first request "
+                            "(default: 2.0; 0 disables coalescing)")
+    p_srv.add_argument("--timeout-ms", type=float, default=1000.0,
+                       help="default per-request deadline (default: 1000)")
+    p_srv.add_argument("--max-queue", type=int, default=512,
+                       help="queued requests before 429 backpressure "
+                            "(default: 512)")
+    p_srv.add_argument("--platform", choices=PAPER_PLATFORM_NAMES,
+                       default=None,
+                       help="bill per-tenant Eq. 2/3 costs against this "
+                            "platform's cost model")
+    p_srv.add_argument("--workers", type=int, default=None,
+                       help="Batch-OMP workers per coalesced batch "
+                            "(default: serial; results are identical)")
+
     p_pca = sub.add_parser("pca", help="top-k PCA through the transform")
     _add_data_arguments(p_pca)
     _add_observability_arguments(p_pca)
@@ -336,6 +418,7 @@ _COMMANDS = {
     "tune": cmd_tune,
     "transform": cmd_transform,
     "pca": cmd_pca,
+    "serve": cmd_serve,
 }
 
 

@@ -75,7 +75,7 @@ class ExtDict:
         Host-side worker count for the preprocessing hot path (tuning
         trials and the Batch-OMP encode); ``None`` = serial, ``-1`` =
         all cores.  Results are identical for every value.
-    memory_budget_bytes, checkpoint_dir:
+    memory_budget_bytes, block_width, checkpoint_dir:
         Out-of-core knobs used when ``fit`` receives a
         :class:`~repro.store.ColumnStore` (see
         :class:`~repro.store.StreamingEncoder`); ignored for in-memory
@@ -88,6 +88,7 @@ class ExtDict:
                  seed=None, distributed_preprocess: bool = False,
                  workers: int | None = None,
                  memory_budget_bytes: int | None = None,
+                 block_width: int | None = None,
                  checkpoint_dir=None) -> None:
         self.eps = check_fraction(eps, "eps", inclusive_low=True)
         self.cluster = cluster
@@ -100,6 +101,7 @@ class ExtDict:
         self.distributed_preprocess = distributed_preprocess
         self.workers = workers
         self.memory_budget_bytes = memory_budget_bytes
+        self.block_width = block_width
         self.checkpoint_dir = checkpoint_dir
         self.cost_model = CostModel(cluster) if cluster is not None else None
         self.transform_ = None
@@ -138,6 +140,7 @@ class ExtDict:
         if streamed:
             stream_kwargs = {
                 "memory_budget_bytes": self.memory_budget_bytes,
+                "block_width": self.block_width,
                 "checkpoint_dir": self.checkpoint_dir,
                 "resume": resume,
             }

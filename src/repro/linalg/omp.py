@@ -58,11 +58,15 @@ class OMPResult:
 #: Width of the fixed, absolutely-aligned column blocks every matrix
 #: encode uses for its BLAS-3 precomputations (``DᵀA``, column norms).
 #: BLAS results are not column-wise reproducible across different matrix
-#: widths, so the in-memory and out-of-core (:mod:`repro.store`) paths
-#: can only produce bit-identical coefficients if both evaluate those
-#: products over the *same* column partition with the same buffer
-#: layout.  Blocks start at multiples of this constant counted from the
-#: matrix's own first column; 256 columns keeps the per-block GEMM
+#: widths (small-N GEMM/GEMV dispatch to different kernels), so every
+#: panel — including a trailing partial one — is evaluated at exactly
+#: this width, zero-padded when fewer columns remain.  A fixed-shape
+#: GEMM computes each output column from its own input column alone with
+#: an instruction sequence independent of the panel's other contents, so
+#: a column's coefficients depend only on ``(D, a_j)`` — the invariant
+#: that makes the in-memory, out-of-core (:mod:`repro.store`) and
+#: serving micro-batch (:mod:`repro.serve`) paths bit-identical however
+#: the columns are grouped.  256 columns keeps the per-panel GEMM
 #: comfortably in the BLAS-3 regime.
 ENCODE_BLOCK_COLS = 256
 
@@ -72,26 +76,42 @@ def encode_block_bounds(n: int, block: int = ENCODE_BLOCK_COLS):
     return [(lo, min(lo + block, n)) for lo in range(0, n, block)]
 
 
-def blocked_dta(d: np.ndarray, a: np.ndarray) -> np.ndarray:
-    """``DᵀA`` evaluated block-by-block on contiguous column panels.
+def _padded_panel(a: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Contiguous ``ENCODE_BLOCK_COLS``-wide panel of ``a[:, lo:hi]``.
 
-    Bit-for-bit reproducible for any storage layout of ``a``: each
-    aligned panel is copied contiguous before the GEMM, so an encode
-    over the full matrix and an encode over any aligned sub-range see
-    identical inputs and produce identical outputs.
+    A full panel is returned as a contiguous copy; a partial one is
+    zero-padded on the right to the fixed width so the downstream GEMM /
+    einsum always runs at the same shape.
+    """
+    if hi - lo == ENCODE_BLOCK_COLS:
+        return np.ascontiguousarray(a[:, lo:hi])
+    panel = np.zeros((a.shape[0], ENCODE_BLOCK_COLS), dtype=np.float64)
+    panel[:, :hi - lo] = a[:, lo:hi]
+    return panel
+
+
+def blocked_dta(d: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """``DᵀA`` evaluated on fixed-width contiguous column panels.
+
+    Bit-for-bit reproducible for any storage layout *and any column
+    grouping* of ``a``: every panel GEMM runs at exactly
+    :data:`ENCODE_BLOCK_COLS` columns (zero-padded when partial), so
+    each output column is a fixed-shape function of its input column
+    alone — encoding the full matrix, an aligned sub-range, or an
+    arbitrary micro-batch of single columns produces identical values.
     """
     out = np.empty((d.shape[1], a.shape[1]), dtype=np.float64)
     for lo, hi in encode_block_bounds(a.shape[1]):
-        out[:, lo:hi] = d.T @ np.ascontiguousarray(a[:, lo:hi])
+        out[:, lo:hi] = (d.T @ _padded_panel(a, lo, hi))[:, :hi - lo]
     return out
 
 
 def blocked_column_squares(a: np.ndarray) -> np.ndarray:
-    """Per-column ``‖a_j‖²`` over the same aligned contiguous panels."""
+    """Per-column ``‖a_j‖²`` over the same fixed-width padded panels."""
     out = np.empty(a.shape[1], dtype=np.float64)
     for lo, hi in encode_block_bounds(a.shape[1]):
-        panel = np.ascontiguousarray(a[:, lo:hi])
-        out[lo:hi] = np.einsum("ij,ij->j", panel, panel)
+        panel = _padded_panel(a, lo, hi)
+        out[lo:hi] = np.einsum("ij,ij->j", panel, panel)[:hi - lo]
     return out
 
 

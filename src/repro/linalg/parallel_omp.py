@@ -44,6 +44,7 @@ from repro.errors import DictionaryError, ValidationError
 __all__ = [
     "GramCache",
     "cached_gram",
+    "encode_columns",
     "fork_map",
     "parallel_batch_omp_matrix",
     "parallel_least_squares",
@@ -360,6 +361,44 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
         obs.merge_counters(p[6])
     obs.merge_counters({"omp.flops": stats.flops})
     return c, stats
+
+
+# ----------------------------------------------------------------------
+# Shared-G micro-batch encode (the serving daemon's kernel)
+# ----------------------------------------------------------------------
+def encode_columns(d, columns, eps: float, *,
+                   gram: np.ndarray | None = None,
+                   max_atoms: int | None = None,
+                   workers: int | None = None):
+    """Sparse-code a stack of columns against ``d``, sharing one ``G``.
+
+    ``columns`` is ``(M, k)`` — typically a micro-batch of coalesced
+    single-column requests.  One call amortises the ``DᵀA`` product (and
+    the Gram lookup) across the whole batch, which is exactly what makes
+    Batch-OMP fast; thanks to the fixed-width padded compute panels of
+    :func:`~repro.linalg.omp.blocked_dta`, each column's code is
+    bit-identical to encoding it alone, in any other batch, or inside a
+    full ``batch_omp_matrix`` run — coalescing never changes answers.
+
+    Returns ``(results, stats)`` where ``results`` is a list of
+    ``(support, coefficients, converged)`` triples in column order
+    (support index-sorted, as in the CSC output) and ``stats`` the usual
+    :class:`~repro.linalg.omp.BatchOMPStats`.
+    """
+    from repro.linalg.omp import batch_omp_matrix
+
+    columns = np.asarray(columns, dtype=np.float64)
+    if columns.ndim != 2:
+        raise ValidationError(
+            f"columns must be 2-D (M, k), got {columns.ndim}-D")
+    c, stats = batch_omp_matrix(d, columns, eps, max_atoms=max_atoms,
+                                gram=gram, workers=workers)
+    results = []
+    for j in range(columns.shape[1]):
+        lo, hi = int(c.indptr[j]), int(c.indptr[j + 1])
+        results.append((c.indices[lo:hi], c.data[lo:hi],
+                        bool(stats.converged_mask[j])))
+    return results, stats
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,12 @@ Metric-name conventions (dotted, subsystem-first):
 ``solver.*``           distributed regression solvers
 ``power_method.*``     distributed Power method
 ``mpi.*``              emulated SPMD runs (collective/wire words)
+``store.*``            column-store I/O (chunks/bytes read, appends,
+                       orphans reclaimed by crash-safe appends)
+``serve.*``            encode service (requests, batches, coalesced
+                       batches, 429/504 rejections, hot-swaps, and
+                       per-tenant ``serve.tenant.<t>.*`` columns/nnz
+                       plus Eq. 2/3 cost accounting)
 =====================  ==============================================
 
 Span paths nest with ``/`` per thread (``extdict.fit/extdict.tune``).

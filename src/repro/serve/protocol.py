@@ -1,0 +1,150 @@
+"""Wire protocol of the encode service: JSON schemas + typed errors.
+
+Everything the HTTP layer and the micro-batcher exchange is defined
+here so both sides (and the tests) share one vocabulary:
+
+* :class:`ServeError` — an HTTP-mappable failure (status code, message,
+  optional ``Retry-After``), raised anywhere on the request path and
+  rendered as a JSON error body by the app;
+* :class:`EncodeRequest` / :class:`EncodeResult` — the parsed form of
+  ``POST /v1/encode`` and its answer;
+* parsing helpers that validate JSON payloads into numpy-ready values
+  with precise 400-level messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "EncodeRequest",
+    "EncodeResult",
+    "ServeError",
+    "parse_encode_request",
+    "parse_vector",
+]
+
+
+class ServeError(Exception):
+    """Request-path failure carrying its HTTP rendering.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code (400 bad request, 404 unknown tenant or
+        generation, 429 queue full, 504 deadline exceeded, ...).
+    message:
+        Human-readable cause, returned as ``{"error": message}``.
+    retry_after:
+        Seconds for a ``Retry-After`` header (backpressure responses).
+    """
+
+    def __init__(self, status: int, message: str,
+                 *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.retry_after = retry_after
+
+
+def parse_vector(payload, name: str, *, m: int | None = None) -> np.ndarray:
+    """Validate a JSON array as a finite float64 vector (optionally of
+    length ``m``)."""
+    if not isinstance(payload, (list, tuple)):
+        raise ServeError(400, f"{name} must be a JSON array of numbers")
+    try:
+        vec = np.asarray(payload, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ServeError(
+            400, f"{name} is not numeric: {exc}") from exc
+    if vec.ndim != 1:
+        raise ServeError(400, f"{name} must be 1-D, got shape {vec.shape}")
+    if not np.all(np.isfinite(vec)):
+        raise ServeError(400, f"{name} contains NaN or infinite entries")
+    if m is not None and vec.size != m:
+        raise ServeError(
+            400, f"{name} has {vec.size} entries, expected {m}")
+    return vec
+
+
+@dataclass
+class EncodeRequest:
+    """One parsed ``POST /v1/encode`` body.
+
+    ``eps`` defaults to the target generation's fit-time tolerance;
+    ``generation`` defaults to the tenant's current default, resolved
+    when the request is accepted — a hot-swap applies to every request
+    submitted after it.
+    """
+
+    tenant: str
+    column: np.ndarray
+    generation: int | None = None
+    eps: float | None = None
+    max_atoms: int | None = None
+    timeout_ms: float | None = None
+
+
+@dataclass
+class EncodeResult:
+    """Sparse code of one served column, plus batching provenance."""
+
+    support: np.ndarray
+    coefficients: np.ndarray
+    converged: bool
+    generation: int
+    batch_size: int
+    eps: float
+
+    def to_dict(self) -> dict:
+        return {
+            "support": [int(i) for i in self.support],
+            "coefficients": [float(v) for v in self.coefficients],
+            "nnz": int(self.support.size),
+            "converged": bool(self.converged),
+            "generation": int(self.generation),
+            "batch_size": int(self.batch_size),
+            "eps": float(self.eps),
+        }
+
+
+def _opt_number(body: dict, key: str, kind, *, positive: bool = True):
+    value = body.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServeError(400, f"{key} must be a number")
+    value = kind(value)
+    if positive and value <= 0:
+        raise ServeError(400, f"{key} must be positive, got {value}")
+    return value
+
+
+def parse_encode_request(body, *, default_tenant: str | None = None) \
+        -> EncodeRequest:
+    """Validate a JSON body into an :class:`EncodeRequest`."""
+    if not isinstance(body, dict):
+        raise ServeError(400, "request body must be a JSON object")
+    tenant = body.get("tenant", default_tenant)
+    if not isinstance(tenant, str) or not tenant:
+        raise ServeError(400, "tenant must be a non-empty string")
+    column = parse_vector(body.get("column"), "column")
+    if column.size == 0:
+        raise ServeError(400, "column must be non-empty")
+    generation = body.get("generation")
+    if generation is not None:
+        if isinstance(generation, bool) or not isinstance(generation, int):
+            raise ServeError(400, "generation must be an integer")
+        if generation < 1:
+            raise ServeError(
+                400, f"generation must be >= 1, got {generation}")
+    eps = _opt_number(body, "eps", float)
+    if eps is not None and eps >= 1.0:
+        raise ServeError(400, f"eps must be in (0, 1), got {eps}")
+    max_atoms = _opt_number(body, "max_atoms", int)
+    timeout_ms = _opt_number(body, "timeout_ms", float)
+    return EncodeRequest(tenant=tenant, column=column,
+                         generation=generation, eps=eps,
+                         max_atoms=max_atoms, timeout_ms=timeout_ms)

@@ -11,11 +11,15 @@ Layout of a store directory::
 
 The manifest is the source of truth: every chunk entry records its file
 name, first column, width and a CRC-32 checksum of the raw array bytes.
-Manifest updates are atomic (written to a temp file, then ``os.replace``)
-and chunk files are fully written before the manifest references them,
-so a killed writer can never leave a store that *reads* inconsistently —
-at worst an orphan chunk file sits on disk until the next append
-overwrites it.
+Manifest updates are atomic (written to a temp file, fsynced, then
+``os.replace`` + directory fsync) and chunk files are fully written
+before the manifest references them.  A chunk file referenced by the
+current manifest is **never rewritten in place**: topping up the
+trailing partial chunk writes a new *generation* of that chunk under a
+fresh file name that only the new manifest references, so a writer
+killed at any instant leaves either the old consistent store or the new
+one — never a chunk wider than its manifest entry.  Orphan files from
+interrupted appends are garbage-collected by the next append.
 
 Reads go through ``numpy.load(..., mmap_mode="r")``: random access via
 :meth:`ColumnStore.read_columns` touches only the chunks that hold the
@@ -55,14 +59,36 @@ def _crc32(arr: np.ndarray) -> str:
     return f"{zlib.crc32(np.ascontiguousarray(arr).tobytes()):08x}"
 
 
+def fsync_dir(path: Path) -> None:
+    """Best-effort fsync of a directory (durability of renames within).
+
+    ``os.replace`` makes a rename atomic but not durable: on power loss
+    the directory entry can be lost, resurrecting the old file.  Opening
+    the directory and fsyncing its fd flushes the rename; platforms that
+    cannot fsync a directory (or open one with ``O_RDONLY``) are
+    tolerated silently — they offer no stronger primitive anyway.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write_json(path: Path, payload: dict) -> None:
-    """Write JSON durably: temp file + fsync + atomic rename."""
+    """Write JSON durably: temp file + fsync + atomic rename + dir fsync."""
     tmp = path.with_suffix(".tmp")
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    fsync_dir(path.parent)
 
 
 class ColumnStore:
@@ -216,32 +242,90 @@ class ColumnStore:
     # ------------------------------------------------------------------
     # writing
     # ------------------------------------------------------------------
-    def _chunk_path(self, index: int) -> Path:
-        return self.path / CHUNK_DIR / f"chunk-{index:06d}.npy"
+    def _chunk_path(self, index: int, generation: int = 0) -> Path:
+        name = (f"chunk-{index:06d}.npy" if generation == 0
+                else f"chunk-{index:06d}.g{generation:03d}.npy")
+        return self.path / CHUNK_DIR / name
 
-    def _write_chunk(self, index: int, arr: np.ndarray) -> dict:
-        """Write one chunk file atomically; return its manifest entry."""
+    @staticmethod
+    def _chunk_generation(entry: dict) -> int:
+        """Generation counter encoded in a manifest entry's file name."""
+        stem = Path(entry["file"]).name
+        parts = stem.split(".")
+        if len(parts) == 3 and parts[1].startswith("g"):
+            try:
+                return int(parts[1][1:])
+            except ValueError:
+                return 0
+        return 0
+
+    def _write_chunk(self, index: int, arr: np.ndarray,
+                     generation: int = 0) -> dict:
+        """Write one chunk file atomically; return its manifest entry.
+
+        ``generation`` > 0 writes a *new generation* of an existing
+        chunk under a fresh file name: the live chunk file a current
+        manifest references is never rewritten in place, so a crash at
+        any point between this write and the manifest replace leaves
+        the old store fully consistent (the new file is just an orphan
+        until the manifest lands).
+        """
         arr = np.ascontiguousarray(arr, dtype=self.dtype)
-        final = self._chunk_path(index)
+        final = self._chunk_path(index, generation)
         tmp = final.with_suffix(".npy.tmp")
         with open(tmp, "wb") as fh:
             np.save(fh, arr)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, final)
+        fsync_dir(final.parent)
         return {"file": f"{CHUNK_DIR}/{final.name}",
                 "start": 0,  # caller fixes up
                 "columns": int(arr.shape[1]),
                 "checksum": _crc32(arr)}
 
+    def collect_orphans(self) -> int:
+        """Delete chunk-directory files the manifest does not reference.
+
+        Interrupted appends can leave ``*.npy.tmp`` temporaries and
+        superseded (or never-referenced) chunk generations behind; they
+        are harmless for correctness but waste disk.  Returns the number
+        of files removed.  Called automatically by
+        :meth:`append_columns`.
+        """
+        referenced = {Path(c["file"]).name for c in self._manifest["chunks"]}
+        removed = 0
+        chunk_dir = self.path / CHUNK_DIR
+        if not chunk_dir.is_dir():
+            return 0
+        for entry in sorted(chunk_dir.iterdir()):
+            if not entry.is_file() or entry.name in referenced:
+                continue
+            if not (entry.name.endswith(".npy")
+                    or entry.name.endswith(".npy.tmp")):
+                continue
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                continue  # best effort; retried on the next append
+        if removed:
+            fsync_dir(chunk_dir)
+            obs.inc("store.orphans_collected", removed)
+        return removed
+
     def append_columns(self, a_new) -> int:
         """Append a block of columns; returns the new total column count.
 
-        The last partial chunk (if any) is rewritten to fill it up to
-        ``chunk_width``; further columns land in fresh chunks.  The
-        manifest is replaced atomically only after every touched chunk
-        file is fully on disk, so readers (and checkpoint fingerprints)
-        never observe a half-appended store.
+        The last partial chunk (if any) is topped up to ``chunk_width``
+        by writing a *new generation* of that chunk under a fresh file
+        name; further columns land in fresh chunks.  The manifest is
+        replaced atomically only after every touched chunk file is fully
+        on disk and no referenced file was modified, so a writer killed
+        at any instant leaves either the previous consistent store or
+        the new one — readers (and checkpoint fingerprints) never
+        observe a half-appended store.  Orphans from a previously killed
+        append are reclaimed first.
         """
         a_new = check_matrix(a_new, "A_new", dtype=self.dtype)
         m = self.shape[0]
@@ -249,18 +333,22 @@ class ColumnStore:
             raise ValidationError(
                 f"appended columns have {a_new.shape[0]} rows, store "
                 f"holds {m}")
+        self.collect_orphans()
         width = self.chunk_width
         chunks = [dict(c) for c in self._manifest["chunks"]]
         pending = a_new
         appended = a_new.shape[1]
 
-        # Top up the trailing partial chunk first (rewrite in place).
+        # Top up the trailing partial chunk first — into a new
+        # generation file, never over the live one.
         if chunks and int(chunks[-1]["columns"]) < width:
             last = chunks[-1]
             take = min(width - int(last["columns"]), pending.shape[1])
             old = self._read_chunk(len(chunks) - 1)
             merged = np.concatenate([old, pending[:, :take]], axis=1)
-            entry = self._write_chunk(len(chunks) - 1, merged)
+            entry = self._write_chunk(
+                len(chunks) - 1, merged,
+                generation=self._chunk_generation(last) + 1)
             entry["start"] = int(last["start"])
             chunks[-1] = entry
             pending = pending[:, take:]

@@ -47,7 +47,12 @@ from repro.errors import CheckpointError, ValidationError
 from repro.linalg.omp import ENCODE_BLOCK_COLS, batch_omp_matrix
 from repro.linalg.parallel_omp import cached_gram
 from repro.sparse.csc import CSCMatrix
-from repro.store.column_store import ColumnStore, check_matrix_or_store
+from repro.store.column_store import (
+    ColumnStore,
+    _atomic_write_json,
+    check_matrix_or_store,
+    fsync_dir,
+)
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -61,7 +66,11 @@ __all__ = [
 CHECKPOINT_NAME = "checkpoint.json"
 DICTIONARY_NAME = "dictionary.npz"
 BLOCK_DIR = "blocks"
-CHECKPOINT_FORMAT_VERSION = 1
+# v2: trailing partial compute panels are now zero-padded to the fixed
+# ENCODE_BLOCK_COLS width (see repro.linalg.omp), which changes the bits
+# of a matrix's final partial block — v1 checkpoints must not be mixed
+# with v2 blocks, so resuming one is refused.
+CHECKPOINT_FORMAT_VERSION = 2
 
 #: Block width used when neither ``block_width`` nor a byte budget is
 #: given: four aligned compute panels per store read.
@@ -130,15 +139,6 @@ def _block_checksum(data: np.ndarray, indices: np.ndarray,
     return f"{crc:08x}"
 
 
-def _atomic_write_json(path: Path, payload: dict) -> None:
-    tmp = path.with_suffix(".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1, sort_keys=True)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
-
-
 def _atomic_savez(path: Path, **arrays) -> None:
     tmp = path.with_suffix(".npz.tmp")
     with open(tmp, "wb") as fh:
@@ -146,6 +146,7 @@ def _atomic_savez(path: Path, **arrays) -> None:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    fsync_dir(path.parent)
 
 
 @dataclass

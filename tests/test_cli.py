@@ -121,6 +121,97 @@ class TestObservabilityFlags:
         assert not observability.enabled()
 
 
+class TestTransformKnobRegressions:
+    """Satellite regressions: --block-width on the tuned path and
+    falsy-vs-None handling of --memory-budget-mb."""
+
+    def _store(self, tmp_path, n=300):
+        assert main(["ingest", "--dataset", "salina", "--n", str(n),
+                     "--store", str(tmp_path / "s.store"),
+                     "--chunk-width", "128"]) == 0
+        return str(tmp_path / "s.store")
+
+    def test_block_width_reaches_tuned_path(self, tmp_path, monkeypatch):
+        """--block-width without --size used to be parsed then silently
+        dropped: ExtDict never saw it.  Capture the constructor kwargs
+        and pin the plumbing."""
+        import repro.cli as cli
+        captured = {}
+        real_extdict = cli.ExtDict
+
+        class SpyExtDict(real_extdict):
+            def __init__(self, **kwargs):
+                captured.update(kwargs)
+                super().__init__(**kwargs)
+
+        monkeypatch.setattr(cli, "ExtDict", SpyExtDict)
+        store = self._store(tmp_path)
+        assert main(["transform", "--store", store,
+                     "--block-width", "256", "--eps", "0.2",
+                     "--out", str(tmp_path / "t.npz")]) == 0
+        assert captured["block_width"] == 256
+
+    def test_tuned_block_width_result_matches_default(self, tmp_path):
+        """Plumbing the width through must not change the bits."""
+        from repro.core import load_transform
+        store = self._store(tmp_path)
+        assert main(["transform", "--store", store, "--eps", "0.2",
+                     "--out", str(tmp_path / "a.npz")]) == 0
+        assert main(["transform", "--store", store, "--eps", "0.2",
+                     "--block-width", "256",
+                     "--out", str(tmp_path / "b.npz")]) == 0
+        ta, tb = load_transform(tmp_path / "a.npz"), \
+            load_transform(tmp_path / "b.npz")
+        np.testing.assert_array_equal(ta.dictionary.atoms,
+                                      tb.dictionary.atoms)
+        np.testing.assert_array_equal(ta.coefficients.data,
+                                      tb.coefficients.data)
+
+    def test_zero_memory_budget_is_rejected(self, tmp_path, capsys):
+        """--memory-budget-mb 0 used to be treated as *unset* (falsy)
+        and silently ignored; it must be a hard error."""
+        store = self._store(tmp_path)
+        assert main(["transform", "--store", store, "--size", "24",
+                     "--memory-budget-mb", "0",
+                     "--out", str(tmp_path / "t.npz")]) == 1
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_negative_memory_budget_is_rejected(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(["transform", "--store", store, "--size", "24",
+                     "--memory-budget-mb", "-5",
+                     "--out", str(tmp_path / "t.npz")]) == 1
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_block_width_requires_store(self, capsys):
+        assert main(["transform", "--dataset", "salina", "--n", "128",
+                     "--block-width", "256"]) == 1
+        assert "require --store" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_transform_spec_parsing(self):
+        from repro.cli import _parse_transform_spec
+        assert _parse_transform_spec("t.npz") == ("default", "t.npz")
+        assert _parse_transform_spec("acme=t.npz") == ("acme", "t.npz")
+        # '=' inside a path is not a tenant separator
+        assert _parse_transform_spec("/tmp/a=b/t.npz") \
+            == ("default", "/tmp/a=b/t.npz")
+
+    def test_knob_validation(self, capsys):
+        assert main(["serve", "--max-batch", "0"]) == 1
+        assert "--max-batch" in capsys.readouterr().err
+        assert main(["serve", "--max-queue", "0"]) == 1
+        assert "--max-queue" in capsys.readouterr().err
+        assert main(["serve", "--max-wait-ms", "-1"]) == 1
+        assert "--max-wait-ms" in capsys.readouterr().err
+
+    def test_missing_transform_file_is_an_error(self, tmp_path, capsys):
+        assert main(["serve", "--transform",
+                     str(tmp_path / "absent.npz")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

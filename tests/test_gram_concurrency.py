@@ -1,0 +1,232 @@
+"""Concurrency suite for the encode-service substrate (satellite of the
+serving PR): ``GramCache`` and ``fork_map`` under a threaded workload.
+
+The serve daemon answers requests from an event loop plus executor
+threads while hot-swaps load new dictionary generations concurrently.
+That workload leans on two process-wide singletons:
+
+* :data:`~repro.linalg.parallel_omp.GRAM_CACHE` must never serve a
+  stale ``DᵀD`` — not for a mutated array (fingerprint check), not for
+  a recycled ``id`` (weakref guard), not under any thread interleaving;
+* :func:`~repro.linalg.parallel_omp.fork_map` must never fork from the
+  multi-threaded daemon (fork + foreign locks = child deadlock) and its
+  in-process fallback must stay correct when called from many threads.
+
+Every join below carries a timeout so a regression shows up as a test
+failure, not a hung suite.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.linalg import parallel_omp
+from repro.linalg.parallel_omp import (
+    GRAM_CACHE,
+    GramCache,
+    cached_gram,
+    fork_map,
+)
+
+JOIN_TIMEOUT = 30.0
+
+
+def _join_all(threads):
+    for t in threads:
+        t.join(JOIN_TIMEOUT)
+    alive = [t.name for t in threads if t.is_alive()]
+    assert not alive, f"threads deadlocked: {alive}"
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    GRAM_CACHE.clear()
+    yield
+    GRAM_CACHE.clear()
+
+
+class TestGramCacheConcurrency:
+    def test_hammer_with_interleaved_generation_swaps(self):
+        """N reader threads on ``cached_gram`` while a writer keeps
+        swapping in new dictionary generations: every returned Gram
+        must equal ``d.T @ d`` of the exact array that was passed."""
+        rng = np.random.default_rng(0)
+        n_readers, rounds = 8, 40
+        generations = [rng.standard_normal((24, 12)) for _ in range(6)]
+        expected = [g.T @ g for g in generations]
+        current = {"idx": 0}
+        stop = threading.Event()
+        failures = []
+        barrier = threading.Barrier(n_readers + 1)
+
+        def reader(name):
+            barrier.wait(JOIN_TIMEOUT)
+            while not stop.is_set():
+                idx = current["idx"]
+                d = generations[idx]
+                gram = cached_gram(d)
+                if not np.array_equal(gram, expected[idx]):
+                    failures.append(name)
+                    return
+
+        def swapper():
+            barrier.wait(JOIN_TIMEOUT)
+            for i in range(rounds):
+                current["idx"] = i % len(generations)
+            stop.set()
+
+        threads = [threading.Thread(target=reader, args=(i,),
+                                    name=f"reader-{i}")
+                   for i in range(n_readers)]
+        threads.append(threading.Thread(target=swapper, name="swapper"))
+        for t in threads:
+            t.start()
+        stop.set()  # belt and braces if the swapper died early
+        _join_all(threads)
+        assert not failures
+
+    def test_no_stale_gram_after_concurrent_mutation(self):
+        """K-SVD-style in-place atom rewrites between lookups must
+        always invalidate, even when lookups race the mutation."""
+        rng = np.random.default_rng(1)
+        d = rng.standard_normal((20, 10))
+        cache = GramCache()
+        results = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait(JOIN_TIMEOUT)
+            for _ in range(30):
+                with lock:
+                    # snapshot + lookup atomically relative to mutators
+                    snapshot = d.copy()
+                    gram = cache.get(d)
+                results.append(np.array_equal(gram, snapshot.T @ snapshot))
+
+        def mutator():
+            barrier.wait(JOIN_TIMEOUT)
+            for i in range(30):
+                with lock:
+                    d[:, i % d.shape[1]] += 0.5
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        threads.append(threading.Thread(target=mutator))
+        for t in threads:
+            t.start()
+        _join_all(threads)
+        assert all(results)
+
+    def test_eviction_races_do_not_corrupt(self):
+        """Churning more arrays than ``max_entries`` across threads
+        exercises insert/evict/weakref-callback interleavings."""
+        cache = GramCache(max_entries=4)
+        rng = np.random.default_rng(2)
+        errors = []
+
+        def churn(seed):
+            local = np.random.default_rng(seed)
+            for _ in range(50):
+                d = local.standard_normal((16, 8))
+                gram = cache.get(d)
+                if not np.array_equal(gram, d.T @ d):
+                    errors.append(seed)
+                    return
+                # second lookup on the same object must hit and agree
+                if cache.get(d) is not gram:
+                    errors.append(seed)
+                    return
+
+        threads = [threading.Thread(target=churn, args=(int(s),))
+                   for s in rng.integers(0, 2**31, size=6)]
+        for t in threads:
+            t.start()
+        _join_all(threads)
+        assert not errors
+        assert len(cache) <= 4
+
+    def test_hit_counters_consistent_under_threads(self):
+        cache = GramCache()
+        d = np.random.default_rng(3).standard_normal((16, 8))
+        cache.get(d)  # prime: exactly one miss
+
+        def hit():
+            for _ in range(25):
+                cache.get(d)
+
+        threads = [threading.Thread(target=hit) for _ in range(4)]
+        for t in threads:
+            t.start()
+        _join_all(threads)
+        assert cache.misses == 1
+        assert cache.hits == 4 * 25
+
+
+class TestForkMapUnderThreads:
+    @staticmethod
+    def _square(shared, payload):
+        return shared * payload * payload
+
+    def test_threaded_caller_falls_back_in_process(self):
+        """From a multi-threaded process ``_can_fork`` must refuse, and
+        the fallback must produce the same ordered results."""
+        results = {}
+
+        def call(tag):
+            # this thread plus main() makes active_count() > 1
+            assert parallel_omp._can_fork() is False
+            results[tag] = fork_map(self._square, range(10), 3, workers=4)
+
+        threads = [threading.Thread(target=call, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        _join_all(threads)
+        expect = [3 * p * p for p in range(10)]
+        assert all(results[i] == expect for i in range(4))
+
+    def test_concurrent_fork_map_no_deadlock(self):
+        """Many simultaneous fork_map calls must neither deadlock on
+        ``_FORK_LOCK`` nor cross their ``shared`` payloads."""
+        failures = []
+        barrier = threading.Barrier(8)
+
+        def call(tag):
+            barrier.wait(JOIN_TIMEOUT)
+            for _ in range(10):
+                out = fork_map(self._square, range(6), tag, workers=2)
+                if out != [tag * p * p for p in range(6)]:
+                    failures.append(tag)
+                    return
+
+        threads = [threading.Thread(target=call, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        _join_all(threads)
+        assert not failures
+
+    def test_parallel_encode_from_daemon_thread(self):
+        """The serving executor path: ``batch_omp_matrix(workers=-1)``
+        called from a non-main thread must complete (in-process
+        fallback) and stay bit-identical to the serial encode."""
+        from repro.linalg.omp import batch_omp_matrix
+
+        rng = np.random.default_rng(4)
+        d = rng.standard_normal((24, 16))
+        d /= np.linalg.norm(d, axis=0)
+        a = rng.standard_normal((24, 40))
+        c_serial, _ = batch_omp_matrix(d, a, 0.2)
+        out = {}
+
+        def encode():
+            c, stats = batch_omp_matrix(d, a, 0.2, workers=-1)
+            out["c"] = c
+
+        t = threading.Thread(target=encode, name="serve-executor")
+        t.start()
+        _join_all([t])
+        np.testing.assert_array_equal(out["c"].data, c_serial.data)
+        np.testing.assert_array_equal(out["c"].indices, c_serial.indices)
+        np.testing.assert_array_equal(out["c"].indptr, c_serial.indptr)
