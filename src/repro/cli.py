@@ -89,6 +89,17 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
                         help="parallel encode/tuning workers: omit for "
                              "serial, -1 for all cores (results are "
                              "identical for every value)")
+    _add_backend_argument(parser)
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="OMP kernel backend: 'numpy' (reference), "
+                             "a compiled backend such as 'numba', or "
+                             "'auto' to prefer whichever compiled "
+                             "backend is importable (default: the "
+                             "REPRO_OMP_BACKEND environment variable, "
+                             "then 'numpy')")
 
 
 def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
@@ -278,7 +289,8 @@ def cmd_serve(args) -> int:
                   if args.platform else None)
     app = ServeApp(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
                    max_queue=args.max_queue, timeout_ms=args.timeout_ms,
-                   cost_model=cost_model, workers=args.workers)
+                   cost_model=cost_model, workers=args.workers,
+                   backend=args.backend)
     for spec in args.transform or []:
         tenant, path = _parse_transform_spec(spec)
         gen = app.registry.load(tenant, path)
@@ -399,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--workers", type=int, default=None,
                        help="Batch-OMP workers per coalesced batch "
                             "(default: serial; results are identical)")
+    _add_backend_argument(p_srv)
 
     p_pca = sub.add_parser("pca", help="top-k PCA through the transform")
     _add_data_arguments(p_pca)
@@ -431,7 +444,14 @@ def main(argv=None) -> int:
         observability.reset()
         observability.enable()
     try:
-        return _COMMANDS[args.command](args)
+        # Make --backend the process default for the whole command so
+        # every encode it runs (including fork workers, which inherit
+        # the resolved name) uses the requested kernel.  ``use_backend``
+        # validates eagerly and restores the prior default on exit.
+        from repro.linalg.kernels import use_backend
+
+        with use_backend(getattr(args, "backend", None)):
+            return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -23,6 +23,7 @@ from repro import observability as obs
 from repro.core.alpha import measure_alpha
 from repro.core.cost_model import CostModel
 from repro.errors import TuningError
+from repro.linalg.kernels import use_backend
 from repro.utils.rng import as_generator, derive_seed
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -76,7 +77,8 @@ def find_min_feasible_size(a, eps: float, *, seed=None,
                            subset_fraction: float = 0.25,
                            trials: int = 1,
                            max_size: int | None = None,
-                           workers: int | None = None) -> int:
+                           workers: int | None = None,
+                           backend=None) -> int:
     """Smallest L whose random dictionary meets ε on every column.
 
     Uses doubling + bisection on a random column subset.  Feasibility is
@@ -86,7 +88,8 @@ def find_min_feasible_size(a, eps: float, *, seed=None,
     probe's trials/encode parallelise with ``workers``.
 
     ``a`` may be a :class:`~repro.store.ColumnStore`; the probes then
-    read only their subset columns from disk.
+    read only their subset columns from disk.  ``backend`` selects the
+    OMP kernel (see :mod:`repro.linalg.kernels`) for every probe encode.
     """
     from repro.store.column_store import check_matrix_or_store, take_columns
 
@@ -114,7 +117,7 @@ def find_min_feasible_size(a, eps: float, *, seed=None,
                             seed=derive_seed(seed, 1, l), workers=workers)
         return est.feasible
 
-    with obs.span("tuner.find_min_feasible"):
+    with obs.span("tuner.find_min_feasible"), use_backend(backend):
         lo, hi = 1, None
         l = max(2, min(8, limit))
         while l <= limit:
@@ -143,7 +146,8 @@ def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
                          objective: str = "time", candidates=None,
                          subset_fraction: float = 0.25, trials: int = 1,
                          seed=None,
-                         workers: int | None = None) -> TuningResult:
+                         workers: int | None = None,
+                         backend=None) -> TuningResult:
     """Pick L* minimising the platform cost (Sec. VII protocol).
 
     Parameters
@@ -161,6 +165,10 @@ def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
     workers:
         Worker count for the α estimations (trial-/column-parallel);
         the tuned L* is identical to the serial run.
+    backend:
+        OMP kernel backend for every α-estimation encode (see
+        :mod:`repro.linalg.kernels`).  ``None`` keeps the process
+        default.
 
     Raises
     ------
@@ -176,7 +184,7 @@ def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
     n_sub = max(min(n, int(round(subset_fraction * n))), 2)
     order = rng.permutation(n)
 
-    with obs.span("tuner.tune"):
+    with obs.span("tuner.tune"), use_backend(backend):
         if candidates is None:
             l_min = find_min_feasible_size(a, eps, seed=derive_seed(seed, 7),
                                            subset_fraction=subset_fraction,

@@ -7,6 +7,14 @@ uses ("we use Batch-OMP based on Cholesky factorization updates [32]").
 """
 
 from repro.linalg.cholesky import IncrementalCholesky
+from repro.linalg.kernels import (
+    OMPKernelBackend,
+    available_backends,
+    registered_backend_names,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.linalg.omp import (
     BatchOMPStats,
     OMPResult,
@@ -28,6 +36,12 @@ from repro.linalg.norms import frobenius_norm, relative_frobenius_error
 
 __all__ = [
     "IncrementalCholesky",
+    "OMPKernelBackend",
+    "available_backends",
+    "registered_backend_names",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
     "BatchOMPStats",
     "OMPResult",
     "omp_solve",

@@ -1,0 +1,49 @@
+"""CuPy GPU backend — registration stub (ROADMAP item 2's follow-on).
+
+The serving daemon's batch encodes are the intended consumer: a whole
+coalesced panel's greedy loops launched as one GPU kernel over the
+device-resident ``G``.  This module reserves the ``cupy`` name in the
+backend registry and documents the contract a real implementation must
+meet; it deliberately reports itself unavailable (even when cupy is
+importable) until a kernel that honours the package tolerance contract
+lands, so ``REPRO_OMP_BACKEND=cupy`` fails loudly with a pointer here
+instead of silently running the reference.
+
+Filling the stub in means:
+
+1. implement ``batch_omp_columns`` with device transfers at the panel
+   boundary only (``G`` uploaded once per dictionary, panels streamed);
+2. flip :meth:`CuPyBackend.available` to a real ``cupy`` +
+   device-presence probe;
+3. add the backend to ``AUTO_PREFERENCE`` behind numba and to the CI
+   backend matrix — the conformance suite in
+   ``tests/test_kernel_backends.py`` picks it up automatically.
+"""
+
+from __future__ import annotations
+
+from repro.linalg.kernels import OMPKernelBackend, register_backend
+
+__all__ = ["CuPyBackend"]
+
+
+@register_backend
+class CuPyBackend(OMPKernelBackend):
+    """Reserved GPU backend; not yet implemented."""
+
+    name = "cupy"
+    compiled = True
+
+    @classmethod
+    def available(cls) -> bool:
+        return False
+
+    @classmethod
+    def unavailable_reason(cls) -> str | None:
+        return ("the cupy backend is a registration stub; see "
+                "repro/linalg/kernels/cupy_kernel.py for what a real "
+                "implementation must provide")
+
+    def batch_omp_columns(self, gram, dta_panel, col_sq, eps: float,
+                          max_atoms: int | None):  # pragma: no cover
+        raise NotImplementedError(self.unavailable_reason())

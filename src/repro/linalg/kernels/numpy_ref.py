@@ -1,0 +1,83 @@
+"""The bit-exact numpy reference kernel for Batch-OMP.
+
+This is the historical ``repro.linalg.omp._batch_omp_column`` loop,
+moved behind the :class:`~repro.linalg.kernels.OMPKernelBackend`
+interface unchanged — it is the oracle every other backend's
+conformance is measured against (supports exactly equal, coefficients
+within :data:`~repro.linalg.kernels.COEF_RTOL` /
+:data:`~repro.linalg.kernels.COEF_ATOL`), and the fallback ``auto``
+degrades to when no compiled backend is importable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.cholesky import IncrementalCholesky
+from repro.linalg.kernels import OMPKernelBackend, register_backend
+
+__all__ = ["NumpyBackend", "batch_omp_column"]
+
+
+def batch_omp_column(gram, dta, a_sq: float, eps: float,
+                     max_atoms: int | None):
+    """Batch-OMP greedy loop for one column on precomputed correlations.
+
+    The reference per-column kernel (formerly
+    ``repro.linalg.omp._batch_omp_column``).  Returns ``(support,
+    coefficients, res_sq, iterations, converged)`` with the support in
+    selection order.
+    """
+    l = gram.shape[0]
+    budget = l if max_atoms is None else min(int(max_atoms), l)
+    a_norm = np.sqrt(a_sq)
+    target_sq = (eps * a_norm) ** 2
+    # The recurrence ‖r‖² = ‖a‖² − cᵀ(Dᵀa)_I cancels catastrophically
+    # below ~√ε_machine·‖a‖, so targets under that floor are unreachable
+    # noise-chasing; stop there instead.
+    stop_sq = max(target_sq, a_sq * 1e-12)
+    if a_sq == 0.0:
+        return np.empty(0, dtype=np.int64), np.empty(0), 0.0, 0, True
+
+    alpha = dta.copy()
+    support: list[int] = []
+    banned = np.zeros(l, dtype=bool)
+    chol = IncrementalCholesky(capacity=min(16, l))
+    coef = np.empty(0)
+    res_sq = a_sq
+    it = 0
+    while res_sq > stop_sq and it < budget:
+        scores = np.abs(alpha)
+        scores[banned] = -np.inf
+        if support:
+            scores[np.asarray(support)] = -np.inf
+        k = int(np.argmax(scores))
+        if not np.isfinite(scores[k]):
+            break
+        if not chol.append(gram[np.asarray(support, dtype=np.int64), k]
+                           if support else np.empty(0), float(gram[k, k])):
+            banned[k] = True
+            continue
+        support.append(k)
+        idx = np.asarray(support, dtype=np.int64)
+        coef = chol.solve(dta[idx])
+        alpha = dta - gram[:, idx] @ coef
+        res_sq = max(a_sq - float(coef @ dta[idx]), 0.0)
+        it += 1
+    converged = res_sq <= stop_sq + 1e-12 * a_sq
+    return (np.asarray(support, dtype=np.int64), np.asarray(coef),
+            res_sq, it, converged)
+
+
+@register_backend
+class NumpyBackend(OMPKernelBackend):
+    """Reference backend: the plain-numpy greedy loop, column by column."""
+
+    name = "numpy"
+    compiled = False
+
+    def batch_omp_columns(self, gram, dta_panel, col_sq, eps: float,
+                          max_atoms: int | None):
+        return [batch_omp_column(gram, dta_panel[:, j], float(col_sq[j]),
+                                 eps, max_atoms)
+                for j in range(dta_panel.shape[1])]

@@ -25,9 +25,15 @@ import numpy as np
 
 from repro import observability as obs
 from repro.errors import DictionaryError, ValidationError
-from repro.linalg.cholesky import IncrementalCholesky
+from repro.linalg.kernels import resolve_backend
+from repro.linalg.kernels.numpy_ref import batch_omp_column
 from repro.sparse.builder import ColumnBuilder
 from repro.sparse.csc import CSCMatrix
+
+#: Backwards-compatible alias: the reference per-column kernel now lives
+#: in :mod:`repro.linalg.kernels.numpy_ref` (it is the ``numpy``
+#: backend); historical imports keep working.
+_batch_omp_column = batch_omp_column
 
 
 @dataclass
@@ -198,56 +204,6 @@ def omp_solve(d, a, eps: float, *, max_atoms: int | None = None,
                      rnorm, converged, it)
 
 
-def _batch_omp_column(gram, dta, a_sq: float, eps: float,
-                      max_atoms: int | None):
-    """Batch-OMP greedy loop for one column on precomputed correlations.
-
-    The single per-column kernel shared by the serial and parallel
-    matrix paths (bit-identical results depend on both running exactly
-    this code).  Returns ``(support, coefficients, res_sq, iterations,
-    converged)`` with the support in selection order.
-    """
-    l = gram.shape[0]
-    budget = l if max_atoms is None else min(int(max_atoms), l)
-    a_norm = np.sqrt(a_sq)
-    target_sq = (eps * a_norm) ** 2
-    # The recurrence ‖r‖² = ‖a‖² − cᵀ(Dᵀa)_I cancels catastrophically
-    # below ~√ε_machine·‖a‖, so targets under that floor are unreachable
-    # noise-chasing; stop there instead.
-    stop_sq = max(target_sq, a_sq * 1e-12)
-    if a_sq == 0.0:
-        return np.empty(0, dtype=np.int64), np.empty(0), 0.0, 0, True
-
-    alpha = dta.copy()
-    support: list[int] = []
-    banned = np.zeros(l, dtype=bool)
-    chol = IncrementalCholesky(capacity=min(16, l))
-    coef = np.empty(0)
-    res_sq = a_sq
-    it = 0
-    while res_sq > stop_sq and it < budget:
-        scores = np.abs(alpha)
-        scores[banned] = -np.inf
-        if support:
-            scores[np.asarray(support)] = -np.inf
-        k = int(np.argmax(scores))
-        if not np.isfinite(scores[k]):
-            break
-        if not chol.append(gram[np.asarray(support, dtype=np.int64), k]
-                           if support else np.empty(0), float(gram[k, k])):
-            banned[k] = True
-            continue
-        support.append(k)
-        idx = np.asarray(support, dtype=np.int64)
-        coef = chol.solve(dta[idx])
-        alpha = dta - gram[:, idx] @ coef
-        res_sq = max(a_sq - float(coef @ dta[idx]), 0.0)
-        it += 1
-    converged = res_sq <= stop_sq + 1e-12 * a_sq
-    return (np.asarray(support, dtype=np.int64), np.asarray(coef),
-            res_sq, it, converged)
-
-
 def _strict_failure(eps: float, l: int, res_sq: float,
                     a_sq: float) -> DictionaryError:
     target_sq = (eps * float(np.sqrt(a_sq))) ** 2
@@ -302,7 +258,8 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
                      strict: bool = False,
                      gram: np.ndarray | None = None,
                      workers: int | None = None,
-                     chunk_size: int | None = None) \
+                     chunk_size: int | None = None,
+                     backend=None) \
         -> tuple[CSCMatrix, BatchOMPStats]:
     """Sparse-code every column of ``a`` against dictionary ``d``.
 
@@ -324,6 +281,16 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
         Precomputed ``DᵀD``.  When omitted, it is obtained through the
         process-wide Gram cache, so repeated encodes against the same
         dictionary object skip the ``O(M·L²)`` product.
+    backend:
+        Which :mod:`~repro.linalg.kernels` implementation runs the
+        per-column greedy loop: a name (``"numpy"``, ``"numba"``,
+        ``"auto"``), a backend instance, or ``None`` for the
+        process/environment default (``REPRO_OMP_BACKEND``).  All
+        FLOP/metric accounting stays here in the orchestration layer,
+        so Eq. 2/3 numbers are backend-independent; results are
+        bit-identical across the serial/parallel/streaming/serving
+        paths *for any fixed backend*, and within the kernels package's
+        documented tolerance across backends.
 
     Raises
     ------
@@ -346,7 +313,9 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
         return parallel_batch_omp_matrix(d, a, eps, max_atoms=max_atoms,
                                          strict=strict, gram=gram,
                                          workers=workers,
-                                         chunk_size=chunk_size)
+                                         chunk_size=chunk_size,
+                                         backend=backend)
+    kernel = resolve_backend(backend)
     m, l = d.shape
     n = a.shape[1]
     with obs.span("omp.encode"):
@@ -360,14 +329,20 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
         builder = ColumnBuilder(nrows=l)
         total_iters = 0
         converged_mask = np.zeros(n, dtype=bool)
-        for j in range(n):
-            support, coef, res_sq, it, ok = _batch_omp_column(
-                gram, dta_all[:, j], float(col_sq[j]), eps, max_atoms)
-            if strict and not ok:
-                raise _strict_failure(eps, l, res_sq, float(col_sq[j]))
-            builder.add_column(support, coef)
-            total_iters += it
-            converged_mask[j] = ok
+        # The greedy loops run panel-by-panel through the selected
+        # kernel backend (each column is independent, so the grouping
+        # is free); strict-mode still fails on the smallest
+        # out-of-tolerance column index.
+        for lo, hi in encode_block_bounds(n):
+            results = kernel.batch_omp_columns(
+                gram, dta_all[:, lo:hi], col_sq[lo:hi], eps, max_atoms)
+            for off, (support, coef, res_sq, it, ok) in enumerate(results):
+                if strict and not ok:
+                    raise _strict_failure(eps, l, res_sq,
+                                          float(col_sq[lo + off]))
+                builder.add_column(support, coef)
+                total_iters += it
+                converged_mask[lo + off] = ok
         c = builder.finalize()
     # FLOP model: DᵀA is 2·M·N·L; each greedy iteration touches O(L·k)
     # for the alpha update plus O(k²) solves — dominated by 2·L per

@@ -227,38 +227,42 @@ class _EncodeShared:
     eps: float
     max_atoms: int | None
     strict: bool
+    backend: str = "numpy"   # concrete kernel name, resolved pre-fork
 
 
 def _encode_chunk(shared: _EncodeShared, bounds: tuple[int, int]):
     """Code columns ``[lo, hi)``; returns arrays ready for ordered merge.
 
-    The per-column computation is exactly the serial loop of
-    ``batch_omp_matrix`` (same kernel, same ``‖a‖²`` dot, same stable
-    row sort), which is what makes the merged output bit-identical.
+    The per-column computation runs through exactly the kernel backend
+    the parent resolved (same kernel, same ``‖a‖²`` dot, same stable
+    row sort as the serial path), which is what makes the merged output
+    bit-identical — workers never re-resolve config/env, they inherit
+    the concrete backend name in ``shared``.
     """
-    from repro.linalg.omp import _batch_omp_column
+    from repro.linalg.kernels import get_backend
 
+    kernel = get_backend(shared.backend)
     lo, hi = bounds
     data_parts: list[np.ndarray] = []
     index_parts: list[np.ndarray] = []
     col_nnz = np.zeros(hi - lo, dtype=np.int64)
     iterations = np.zeros(hi - lo, dtype=np.int64)
     converged = np.zeros(hi - lo, dtype=bool)
-    for j in range(lo, hi):
-        a_sq = float(shared.col_sq[j])
-        support, coef, res_sq, it, ok = _batch_omp_column(
-            shared.gram, shared.dta[:, j], a_sq, shared.eps,
-            shared.max_atoms)
+    results = kernel.batch_omp_columns(
+        shared.gram, shared.dta[:, lo:hi], shared.col_sq[lo:hi],
+        shared.eps, shared.max_atoms)
+    for off, (support, coef, res_sq, it, ok) in enumerate(results):
         if shared.strict and not ok:
             # Serial raises at the first failing column; report it so the
             # parent can raise deterministically for the smallest j.
-            return ("error", j, float(res_sq), a_sq)
+            return ("error", lo + off, float(res_sq),
+                    float(shared.col_sq[lo + off]))
         order = np.argsort(support, kind="stable")
         index_parts.append(support[order])
         data_parts.append(coef[order])
-        col_nnz[j - lo] = support.size
-        iterations[j - lo] = it
-        converged[j - lo] = ok
+        col_nnz[off] = support.size
+        iterations[off] = it
+        converged[off] = ok
     data = (np.concatenate(data_parts) if data_parts
             else np.empty(0, dtype=np.float64))
     indices = (np.concatenate(index_parts) if index_parts
@@ -283,7 +287,8 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
                               strict: bool = False,
                               gram: np.ndarray | None = None,
                               workers: int | None = None,
-                              chunk_size: int | None = None):
+                              chunk_size: int | None = None,
+                              backend=None):
     """Sparse-code every column of ``a`` with a chunked worker pool.
 
     Drop-in replacement for the serial ``batch_omp_matrix`` loop: the
@@ -294,6 +299,7 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
     from per-column integers.  Normally reached through
     ``batch_omp_matrix(..., workers=...)`` rather than called directly.
     """
+    from repro.linalg.kernels import resolve_backend
     from repro.linalg.omp import (
         BatchOMPStats,
         blocked_column_squares,
@@ -308,6 +314,12 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
     m, l = d.shape
     n = a.shape[1]
     nworkers = resolve_workers(workers)
+    # Resolve config/env to a concrete kernel up front so every fork
+    # worker runs the same backend the parent chose, and pay any JIT
+    # compilation before forking — children then inherit the compiled
+    # code copy-on-write instead of recompiling it per worker.
+    kernel = resolve_backend(backend)
+    kernel.warmup()
     with obs.span("omp.encode"):
         if gram is None:
             gram = cached_gram(d)
@@ -325,7 +337,8 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
         obs.set_gauge("pool.workers", nworkers)
         obs.set_gauge("pool.chunk_size", chunk_size)
         shared = _EncodeShared(gram=gram, dta=dta_all, col_sq=col_sq,
-                               eps=eps, max_atoms=max_atoms, strict=strict)
+                               eps=eps, max_atoms=max_atoms, strict=strict,
+                               backend=kernel.name)
         parts = fork_map(_encode_chunk, chunks, shared, nworkers)
 
     failures = [p for p in parts if p[0] == "error"]
@@ -369,7 +382,8 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
 def encode_columns(d, columns, eps: float, *,
                    gram: np.ndarray | None = None,
                    max_atoms: int | None = None,
-                   workers: int | None = None):
+                   workers: int | None = None,
+                   backend=None):
     """Sparse-code a stack of columns against ``d``, sharing one ``G``.
 
     ``columns`` is ``(M, k)`` — typically a micro-batch of coalesced
@@ -392,7 +406,8 @@ def encode_columns(d, columns, eps: float, *,
         raise ValidationError(
             f"columns must be 2-D (M, k), got {columns.ndim}-D")
     c, stats = batch_omp_matrix(d, columns, eps, max_atoms=max_atoms,
-                                gram=gram, workers=workers)
+                                gram=gram, workers=workers,
+                                backend=backend)
     results = []
     for j in range(columns.shape[1]):
         lo, hi = int(c.indptr[j]), int(c.indptr[j + 1])

@@ -315,5 +315,6 @@ class ServeApp:
             "encoded_columns": self.batcher.encoded_columns,
             "max_batch": self.batcher.max_batch,
             "max_wait_ms": self.batcher.max_wait * 1e3,
+            "backend": self.batcher.backend,
         })
         return report.to_dict()

@@ -17,7 +17,9 @@ request path:
   accepting work while a batch encodes — arrivals during an encode
   coalesce naturally into the next, larger batch);
 * requests whose deadline passed while queued are answered **504**
-  without being encoded.
+  without being encoded — enforced both at dispatch (cheap skip) and on
+  the awaiting side (``asyncio.wait_for``), so the 504 arrives at the
+  deadline even when the collector is stuck behind a slow batch.
 
 Because the encode panels are fixed-width (see
 :data:`~repro.linalg.omp.ENCODE_BLOCK_COLS`), a column's coefficients
@@ -36,6 +38,8 @@ import numpy as np
 
 from repro import observability as obs
 from repro.core.cost_model import CostModel
+from repro.linalg.kernels import resolve_backend
+from repro.linalg.omp import ENCODE_BLOCK_COLS
 from repro.linalg.parallel_omp import encode_columns
 from repro.serve.protocol import EncodeRequest, EncodeResult, ServeError
 from repro.serve.registry import DictionaryRegistry, Generation
@@ -45,7 +49,15 @@ __all__ = ["MicroBatcher"]
 #: Ceiling on columns per coalesced Batch-OMP call.  One fixed-width
 #: compute panel (ENCODE_BLOCK_COLS) is the natural upper bound: beyond
 #: it a second GEMM panel starts and the marginal amortisation is zero.
-MAX_BATCH_LIMIT = 256
+MAX_BATCH_LIMIT = ENCODE_BLOCK_COLS
+
+
+def _max_batch_limit() -> int:
+    """The panel width, read at construction time so the clamp tracks
+    :data:`~repro.linalg.omp.ENCODE_BLOCK_COLS` rather than a copy."""
+    from repro.linalg import omp
+
+    return int(omp.ENCODE_BLOCK_COLS)
 
 
 @dataclass
@@ -85,22 +97,29 @@ class MicroBatcher:
         Optional :class:`~repro.core.cost_model.CostModel` for per-
         tenant Eq. 2/3 cost accounting (folded into the metrics
         registry and served at ``GET /v1/metrics``).
+    backend:
+        OMP kernel backend for batch encodes (see
+        :mod:`repro.linalg.kernels`).  Resolved eagerly so a
+        misconfigured server fails at construction, not on the first
+        request.  ``None`` keeps the process default.
     """
 
     def __init__(self, registry: DictionaryRegistry, *,
                  max_batch: int = 64, max_wait_ms: float = 2.0,
                  max_queue: int = 512, timeout_ms: float = 1000.0,
                  cost_model: CostModel | None = None,
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 backend: str | None = None) -> None:
         if max_batch < 1:
             raise ServeError(400, f"max_batch must be >= 1, got {max_batch}")
         self.registry = registry
-        self.max_batch = min(int(max_batch), MAX_BATCH_LIMIT)
+        self.max_batch = min(int(max_batch), _max_batch_limit())
         self.max_wait = max(float(max_wait_ms), 0.0) / 1e3
         self.max_queue = int(max_queue)
         self.timeout = max(float(timeout_ms), 1.0) / 1e3
         self.cost_model = cost_model
         self.workers = workers
+        self.backend = resolve_backend(backend).name
         self._queue: asyncio.Queue[_Pending] | None = None
         self._task: asyncio.Task | None = None
         # one encode thread: keeps batches strictly ordered and lets
@@ -122,7 +141,12 @@ class MicroBatcher:
         self._task = asyncio.get_running_loop().create_task(self._run())
 
     async def stop(self) -> None:
-        """Cancel the collector and fail whatever is still queued."""
+        """Cancel the collector and fail whatever is still queued.
+
+        Also drops the queue reference so late :meth:`submit` calls get
+        an immediate 503 instead of enqueuing into a queue nothing will
+        ever drain (a hang bounded only by the caller's own timeout).
+        """
         if self._task is None:
             return
         self._task.cancel()
@@ -136,6 +160,7 @@ class MicroBatcher:
             if not pending.future.done():
                 pending.future.set_exception(
                     ServeError(503, "server shutting down"))
+        self._queue = None
         self._executor.shutdown(wait=False)
 
     @property
@@ -179,7 +204,18 @@ class MicroBatcher:
                      f"retry later",
                 retry_after=max(self.timeout, 2 * self.max_wait)) from None
         obs.inc("serve.requests")
-        return await pending.future
+        # Enforce the deadline on the awaiting side too: the dispatch-
+        # time check only fires when the collector reaches the request,
+        # so a request stuck behind a slow batch would otherwise wait
+        # arbitrarily long past its deadline.  ``wait_for`` cancels the
+        # future on timeout, which the collector's ``future.done()``
+        # guards treat as "skip".
+        try:
+            return await asyncio.wait_for(pending.future, timeout)
+        except asyncio.TimeoutError:
+            obs.inc("serve.deadline_exceeded")
+            raise ServeError(
+                504, "request deadline exceeded while queued") from None
 
     # ------------------------------------------------------------------
     # the collector loop
@@ -267,7 +303,7 @@ class MicroBatcher:
         """
         return encode_columns(generation.transform.dictionary.atoms,
                               columns, eps, max_atoms=max_atoms,
-                              workers=self.workers)
+                              workers=self.workers, backend=self.backend)
 
     def _account(self, group: list[_Pending], results, loop) -> None:
         """Per-tenant request metrics + Eq. 2/3 cost accounting.

@@ -44,6 +44,7 @@ from repro.core.dictionary import Dictionary
 from repro.core.exd import ExDStats, _rescale_columns, normalize_columns
 from repro.core.transform import TransformedData
 from repro.errors import CheckpointError, ValidationError
+from repro.linalg.kernels import resolve_backend
 from repro.linalg.omp import ENCODE_BLOCK_COLS, batch_omp_matrix
 from repro.linalg.parallel_omp import cached_gram
 from repro.sparse.csc import CSCMatrix
@@ -186,6 +187,14 @@ class StreamingEncoder:
         sampled ``dictionary.npz`` and one ``blocks/block-NNNNNN.npz``
         per finished block.  ``None`` keeps everything in memory (the
         encode is still budget-bounded, just not resumable).
+    backend:
+        OMP kernel backend (see :mod:`repro.linalg.kernels`); ``None``
+        resolves the process/environment default.  The *concrete*
+        resolved name is recorded in the checkpoint and verified on
+        resume — different backends agree only to the kernel tolerance
+        contract, so mixing their blocks would break the bit-identity
+        guarantee.  Checkpoints written before this field existed
+        resume as ``numpy``.
     """
 
     def __init__(self, store: ColumnStore, size: int, eps: float, *,
@@ -195,7 +204,8 @@ class StreamingEncoder:
                  dictionary: Dictionary | None = None,
                  memory_budget_bytes: int | None = None,
                  block_width: int | None = None,
-                 checkpoint_dir=None) -> None:
+                 checkpoint_dir=None,
+                 backend=None) -> None:
         self.store = check_matrix_or_store(store, "A")
         if not isinstance(store, ColumnStore):
             raise ValidationError(
@@ -220,6 +230,7 @@ class StreamingEncoder:
         self.max_atoms = None if max_atoms is None else int(max_atoms)
         self.strict = bool(strict)
         self.workers = workers
+        self.backend = resolve_backend(backend).name
         self.dictionary = dictionary
 
         # _width_pinned: the caller chose (or budget-derived) the width,
@@ -263,6 +274,7 @@ class StreamingEncoder:
             "max_atoms": self.max_atoms,
             "strict": self.strict,
             "block_width": self.block_width,
+            "backend": self.backend,
             "rows": int(self.store.shape[0]),
             "columns": int(self.store.shape[1]),
         }
@@ -334,6 +346,9 @@ class StreamingEncoder:
                 f"contents (fingerprint mismatch); the data changed "
                 f"since the run started")
         params = state.get("params", {})
+        # Checkpoints written before the pluggable-kernel refactor have
+        # no backend field; they were encoded by the numpy reference.
+        params.setdefault("backend", "numpy")
         ck_width = params.get("block_width")
         if not self._width_pinned and isinstance(ck_width, int) \
                 and ck_width > 0 and ck_width % ENCODE_BLOCK_COLS == 0:
@@ -504,7 +519,8 @@ class StreamingEncoder:
                 c_blk, st = batch_omp_matrix(
                     dictionary.atoms, work, self.eps,
                     max_atoms=self.max_atoms, strict=self.strict,
-                    gram=gram, workers=self.workers)
+                    gram=gram, workers=self.workers,
+                    backend=self.backend)
                 if self.normalize:
                     c_blk = _rescale_columns(c_blk, norms)
                 block = _Block(data=c_blk.data, indices=c_blk.indices,

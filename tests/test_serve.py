@@ -333,6 +333,95 @@ class TestBatcher:
                                           ref.data[lo:hi])
 
 
+class TestBatcherRegressions:
+    """Dedicated regressions for serve-path bugs (each fails pre-fix)."""
+
+    def test_submit_after_stop_is_immediate_503(self, transform):
+        # Pre-fix, stop() left self._queue alive: a late submit would
+        # enqueue into a queue nothing drains and hang until its own
+        # deadline instead of failing fast with 503.
+        reg = DictionaryRegistry()
+        reg.add_transform("t", transform)
+
+        async def go():
+            batcher = MicroBatcher(reg, timeout_ms=30000.0)
+            await batcher.start()
+            await batcher.stop()
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            with pytest.raises(ServeError) as err:
+                await asyncio.wait_for(batcher.submit(EncodeRequest(
+                    tenant="t", column=np.ones(M))), 5.0)
+            assert err.value.status == 503
+            assert loop.time() - t0 < 1.0
+            assert batcher.queue_depth == 0
+
+        run_async(go())
+
+    def test_queued_504_arrives_at_the_deadline(self, transform):
+        # Pre-fix, deadlines were only checked when the collector
+        # dispatched the request: a request stuck behind a slow batch
+        # got its 504 only after the batch finished.  The awaiting-side
+        # wait_for must deliver it at ~the deadline instead.
+        reg = DictionaryRegistry()
+        reg.add_transform("t", transform)
+
+        async def go():
+            batcher = MicroBatcher(reg, max_batch=1, max_wait_ms=0.0)
+            gate = threading.Event()
+            real_encode = batcher._encode
+
+            def slow_encode(*a, **kw):
+                gate.wait(5.0)
+                return real_encode(*a, **kw)
+
+            batcher._encode = slow_encode
+            await batcher.start()
+            try:
+                first = asyncio.create_task(batcher.submit(EncodeRequest(
+                    tenant="t", column=np.ones(M))))
+                await asyncio.sleep(0.05)  # collector now stalled
+                loop = asyncio.get_running_loop()
+                t0 = loop.time()
+                with pytest.raises(ServeError) as err:
+                    await batcher.submit(EncodeRequest(
+                        tenant="t", column=np.ones(M), timeout_ms=50.0))
+                elapsed = loop.time() - t0
+                assert err.value.status == 504
+                # the gate holds the batch for seconds; the 504 must
+                # arrive at roughly the 50 ms deadline, not after it
+                assert elapsed < 0.75, f"504 took {elapsed:.3f}s"
+                gate.set()
+                await first
+            finally:
+                gate.set()
+                await batcher.stop()
+
+        run_async(go())
+
+    def test_max_batch_clamp_tracks_encode_block_cols(self, transform,
+                                                      monkeypatch):
+        # Pre-fix the clamp was a bare 256 literal that would silently
+        # diverge from the panel width it is supposed to mirror.
+        import repro.linalg.omp as omp_mod
+        from repro.serve.batcher import MAX_BATCH_LIMIT
+
+        assert MAX_BATCH_LIMIT == omp_mod.ENCODE_BLOCK_COLS
+        reg = DictionaryRegistry()
+        reg.add_transform("t", transform)
+        monkeypatch.setattr(omp_mod, "ENCODE_BLOCK_COLS", 64)
+        batcher = MicroBatcher(reg, max_batch=100000)
+        assert batcher.max_batch == 64
+
+    def test_bad_backend_fails_at_construction(self, transform):
+        from repro.errors import KernelError
+        reg = DictionaryRegistry()
+        reg.add_transform("t", transform)
+        with pytest.raises(KernelError):
+            MicroBatcher(reg, backend="no-such-backend")
+        assert MicroBatcher(reg, backend="numpy").backend == "numpy"
+
+
 # ----------------------------------------------------------------------
 # HTTP end-to-end
 # ----------------------------------------------------------------------
