@@ -13,8 +13,10 @@ beat serial — the table then simply records the overhead; the honest
 numbers are the point.
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -24,6 +26,7 @@ from repro.linalg import batch_omp_matrix
 from repro.linalg.parallel_omp import parallel_batch_omp_matrix
 from repro.utils import format_table
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
 M, N, L = 256, 4096, 512
 EPS = 0.05
 WORKER_COUNTS = (1, 2, 4)
@@ -85,6 +88,20 @@ def test_worker_scaling_report(benchmark, report, problem):
     for w in WORKER_COUNTS:
         rows.append(["parallel engine", w, f"{times[w] * 1e3:.0f}",
                      f"{t_serial / max(times[w], 1e-9):.2f}x"])
+
+    # Machine-readable record (same schema as BENCH_spmd.json; this
+    # workload has no virtual clock, so virtual_s is the serial wall
+    # time and ratio the speedup against it).
+    records = [{"workload": "parallel_omp_encode", "shape": [M, N, L],
+                "backend": "serial", "wall_s": t_serial,
+                "virtual_s": t_serial, "ratio": 1.0}]
+    for w in WORKER_COUNTS:
+        records.append({"workload": "parallel_omp_encode",
+                        "shape": [M, N, L], "backend": f"workers={w}",
+                        "wall_s": times[w], "virtual_s": t_serial,
+                        "ratio": t_serial / max(times[w], 1e-9)})
+    (REPO_ROOT / "BENCH_parallel_omp.json").write_text(
+        json.dumps(records, indent=2) + "\n")
     try:
         cores = len(os.sched_getaffinity(0))
     except (AttributeError, OSError):

@@ -100,6 +100,13 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
                              "backend is importable (default: the "
                              "REPRO_OMP_BACKEND environment variable, "
                              "then 'numpy')")
+    parser.add_argument("--mpi-backend", default=None,
+                        choices=("threads", "processes", "auto"),
+                        help="SPMD execution backend for emulated runs "
+                             "(default: the REPRO_MPI_BACKEND "
+                             "environment variable, then 'auto'); the "
+                             "model accounting is identical either way "
+                             "— see docs/mpi_backends.md")
 
 
 def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
@@ -183,9 +190,12 @@ def cmd_transform(args) -> int:
                          or args.block_width is not None):
         raise ReproError("--checkpoint/--resume/--memory-budget-mb/"
                          "--block-width require --store")
-    if streamed and args.distributed:
-        raise ReproError("--distributed encodes in memory; it cannot be "
-                         "combined with --store")
+    if streamed and args.distributed and (args.checkpoint or args.resume
+                                          or args.memory_budget_mb
+                                          is not None):
+        raise ReproError("--distributed streams each rank's shard "
+                         "without checkpoints; it cannot be combined "
+                         "with --checkpoint/--resume/--memory-budget-mb")
     if args.memory_budget_mb is not None and args.memory_budget_mb <= 0:
         raise ReproError(
             f"--memory-budget-mb must be positive, got "
@@ -194,11 +204,15 @@ def cmd_transform(args) -> int:
               if args.memory_budget_mb is not None else None)
     if args.size is not None:
         if args.distributed:
+            # A ColumnStore input is rank-sharded: each emulated rank
+            # streams only its shard_plan partition from disk.
             transform, stats, spmd = exd_transform_distributed(
                 a, args.size, args.eps, platform_by_name(args.platform),
-                seed=args.seed, workers=args.workers)
+                seed=args.seed, workers=args.workers,
+                block_width=args.block_width if streamed else None)
             print(f"simulated distributed encode on {args.platform}: "
-                  f"{spmd.simulated_time * 1e3:.3f} ms")
+                  f"{spmd.simulated_time * 1e3:.3f} ms "
+                  f"(mpi backend: {spmd.backend})")
         elif streamed:
             encoder = StreamingEncoder(
                 a, args.size, args.eps, seed=args.seed,
@@ -449,13 +463,18 @@ def main(argv=None) -> int:
         # the resolved name) uses the requested kernel.  ``use_backend``
         # validates eagerly and restores the prior default on exit.
         from repro.linalg.kernels import use_backend
+        from repro.mpi import set_default_mpi_backend
 
+        # --mpi-backend installs the process-wide SPMD backend default
+        # (argument > this default > REPRO_MPI_BACKEND > auto).
+        set_default_mpi_backend(getattr(args, "mpi_backend", None))
         with use_backend(getattr(args, "backend", None)):
             return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        set_default_mpi_backend(None)
         if observe:
             report = observability.collect_report(
                 command=args.command,

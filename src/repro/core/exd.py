@@ -214,10 +214,91 @@ def _exd_rank_program(comm, a, size, eps, seed, normalize, max_atoms,
                            meta={"normalized": normalize}), agg
 
 
+def _exd_store_rank_program(comm, store, size, eps, seed, normalize,
+                            max_atoms, workers, block_width):
+    """SPMD body of Algorithm 1 over a ColumnStore (one rank).
+
+    Rank 0 samples the dictionary from disk (panel-aligned, the
+    streaming encoder's replay) and broadcasts it; column blocks are
+    then partitioned by the store's deterministic ``shard_plan``, so
+    each rank streams (roughly) only its chunk partition from disk.
+    Block boundaries, normalisation and the per-block Batch-OMP calls
+    mirror :class:`~repro.store.StreamingEncoder` exactly, which makes
+    the assembled transform bit-identical to the serial streaming
+    encode — on either MPI backend.
+    """
+    from repro.linalg.parallel_omp import cached_gram
+    from repro.store.streaming import (
+        DEFAULT_STREAM_BLOCK,
+        sample_store_dictionary,
+    )
+
+    rank, p = comm.Get_rank(), comm.Get_size()
+    m, n = store.shape
+    if rank == 0:
+        d = sample_store_dictionary(store, size, seed=seed,
+                                    normalize=normalize)
+        payload = (d.atoms, d.indices)
+    else:
+        payload = None
+    atoms, idx = comm.bcast(payload, root=0)
+    dictionary = Dictionary(atoms, idx)
+    gram = cached_gram(dictionary.atoms)
+
+    width = block_width if block_width is not None else DEFAULT_STREAM_BLOCK
+    bounds = [(lo, min(lo + width, n)) for lo in range(0, n, width)]
+    plan = store.shard_plan(p)
+    # A block belongs to the rank whose shard contains its first column
+    # (shards are contiguous and cover [0, N), so this is total and
+    # agreed on by every rank without communication).
+    mine = [i for i, (lo, _hi) in enumerate(bounds)
+            if plan[rank][0] <= lo < plan[rank][1]]
+
+    local = []
+    flops = 0
+    for index in mine:
+        lo, hi = bounds[index]
+        raw = store.read_range(lo, hi)
+        if normalize:
+            work, norms = normalize_columns(raw)
+        else:
+            work, norms = raw, None
+        c_blk, st = batch_omp_matrix(dictionary.atoms, work, eps,
+                                     max_atoms=max_atoms, gram=gram,
+                                     workers=workers)
+        if normalize:
+            c_blk = _rescale_columns(c_blk, norms)
+        flops += st.flops
+        local.append((index, c_blk.data, c_blk.indices, c_blk.indptr,
+                      st.total_iterations, st.converged_columns))
+    comm.charge_flops(flops)
+
+    gathered = comm.gather((local, flops), root=0)
+    if rank != 0:
+        return None
+    pieces = sorted((blk for part, _f in gathered for blk in part),
+                    key=lambda b: b[0])
+    l = dictionary.size
+    full = CSCMatrix.hstack_all(
+        CSCMatrix(data, indices, indptr, (l, indptr.size - 1), check=False)
+        for _i, data, indices, indptr, _it, _cv in pieces)
+    agg = ExDStats(
+        columns=n,
+        converged_columns=sum(b[5] for b in pieces),
+        omp_iterations=sum(b[4] for b in pieces),
+        flops=sum(f for _part, f in gathered),
+    )
+    return TransformedData(dictionary=dictionary, coefficients=full,
+                           eps=eps, method="exd",
+                           meta={"normalized": normalize}), agg
+
+
 def exd_transform_distributed(a, size: int, eps: float, cluster, *,
                               seed=None, normalize: bool = True,
                               max_atoms: int | None = None,
-                              workers: int | None = None):
+                              workers: int | None = None,
+                              block_width: int | None = None,
+                              backend: str | None = None):
     """Run Algorithm 1 on the emulated cluster.
 
     Returns ``(transform, stats, spmd_result)`` where ``spmd_result``
@@ -225,14 +306,37 @@ def exd_transform_distributed(a, size: int, eps: float, cluster, *,
     ``workers`` parallelises each rank's local Batch-OMP encode (the
     per-rank coefficients — and hence the assembled transform — are
     bit-identical to the serial encode).
+
+    ``a`` may be a :class:`~repro.store.ColumnStore`: each rank then
+    streams only its ``shard_plan`` partition of the chunks from disk
+    (``block_width`` tunes the read granularity, as in the streaming
+    encoder) and the result is bit-identical to the serial streaming
+    encode.  ``backend`` selects the SPMD execution backend
+    (``"threads"``/``"processes"``/``"auto"``; see
+    :func:`repro.mpi.run_spmd`).
     """
     from repro.mpi.runtime import run_spmd
-    from repro.store.column_store import is_column_store
+    from repro.store.column_store import is_column_store, matrix_shape
 
     if is_column_store(a):
+        eps = check_fraction(eps, "eps", inclusive_low=True)
+        size = check_positive_int(size, "size")
+        n = matrix_shape(a)[1]
+        if size > n:
+            raise ValidationError(
+                f"cannot sample {size} distinct dictionary columns from "
+                f"N={n} data columns")
+        with obs.span("exd.transform_distributed"):
+            result = run_spmd(0, _exd_store_rank_program, a, size, eps,
+                              seed, normalize, max_atoms, workers,
+                              block_width, cluster=cluster,
+                              backend=backend)
+        transform, stats = result.returns[0]
+        return transform, stats, result
+    if block_width is not None:
         raise ValidationError(
-            "exd_transform_distributed needs an in-memory matrix; "
-            "encode a ColumnStore with exd_transform (streaming) instead")
+            "block_width requires a ColumnStore input; in-memory arrays "
+            "are encoded in one pass per rank")
     a = check_matrix(a, "A")
     eps = check_fraction(eps, "eps", inclusive_low=True)
     size = check_positive_int(size, "size")
@@ -244,6 +348,7 @@ def exd_transform_distributed(a, size: int, eps: float, cluster, *,
             f"N={a.shape[1]} data columns")
     with obs.span("exd.transform_distributed"):
         result = run_spmd(0, _exd_rank_program, a, size, eps, seed,
-                          normalize, max_atoms, workers, cluster=cluster)
+                          normalize, max_atoms, workers, cluster=cluster,
+                          backend=backend)
     transform, stats = result.returns[0]
     return transform, stats, result

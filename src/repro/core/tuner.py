@@ -267,12 +267,18 @@ def tune_dictionary_size_distributed(a, eps: float, cost_model: CostModel,
                                      *, objective: str = "time",
                                      candidates=None,
                                      subset_fraction: float = 0.25,
-                                     trials: int = 1, seed=None):
+                                     trials: int = 1, seed=None,
+                                     backend: str | None = None):
     """Sec. VII tuning executed on the emulated target cluster.
 
     Candidate dictionary sizes are partitioned across the ranks (the
     α estimations are independent), so Table II's "tuning on 64 cores"
     can be simulated.  Returns ``(TuningResult, SPMDResult)``.
+
+    ``a`` may be a :class:`~repro.store.ColumnStore`; each rank then
+    reads only the subset columns its own candidates probe from disk.
+    ``backend`` selects the SPMD execution backend (see
+    :func:`repro.mpi.run_spmd`); the table is identical either way.
     """
     from repro.mpi.runtime import run_spmd
     from repro.store.column_store import check_matrix_or_store
@@ -294,7 +300,7 @@ def tune_dictionary_size_distributed(a, eps: float, cost_model: CostModel,
         result = run_spmd(0, _tuning_program, a, eps, objective, candidates,
                           n_sub, order, trials, seed,
                           (objective, cost_model),
-                          cluster=cost_model.cluster)
+                          cluster=cost_model.cluster, backend=backend)
     table, columns_read = result.returns[0]
     obs.inc("tuner.candidates_evaluated", len(candidates))
     obs.inc("tuner.candidates_feasible", len(table))

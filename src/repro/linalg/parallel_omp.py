@@ -186,6 +186,27 @@ def _fork_invoke(task):
     return fn(_FORK_SHARED, payload)
 
 
+def _pinned_backend_name() -> str | None:
+    """The concrete kernel name the parent resolves *right now*.
+
+    Fork workers snapshot env/config at fork time, but the in-process
+    fallback runs task-by-task in the parent — if something mutates
+    ``REPRO_OMP_BACKEND`` mid-map, later tasks would silently resolve a
+    different kernel than earlier ones (and than the fork path).  Both
+    paths therefore run under one backend pinned here, before the first
+    task.  An unresolvable default (env naming an unknown/unavailable
+    backend) is left unpinned so the task itself raises the usual
+    KernelError instead of the map call.
+    """
+    from repro.errors import KernelError
+    from repro.linalg.kernels import resolve_backend
+
+    try:
+        return resolve_backend(None).name
+    except KernelError:
+        return None
+
+
 def fork_map(fn, payloads, shared, workers: int) -> list:
     """Map ``fn(shared, payload)`` over ``payloads``, in payload order.
 
@@ -193,17 +214,26 @@ def fork_map(fn, payloads, shared, workers: int) -> list:
     ``shared`` is handed to workers through fork-time inheritance and is
     never pickled.  Falls back to an in-process loop — same results,
     same order — whenever forking is unsafe (see :func:`_can_fork`).
+    The kernel backend the parent resolves at entry is pinned for the
+    whole map on both paths (see :func:`_pinned_backend_name`).
     """
+    from repro.linalg.kernels import use_backend
+
     payloads = list(payloads)
     workers = min(int(workers), len(payloads))
+    pinned = _pinned_backend_name()
     if workers <= 1 or not _can_fork():
-        return [fn(shared, p) for p in payloads]
+        with use_backend(pinned):
+            return [fn(shared, p) for p in payloads]
     global _FORK_SHARED
     ctx = multiprocessing.get_context("fork")
     with _FORK_LOCK:
         _FORK_SHARED = shared
         try:
-            pool = ctx.Pool(processes=workers)
+            # Workers fork while the pinned default is installed and
+            # inherit it for their whole lifetime.
+            with use_backend(pinned):
+                pool = ctx.Pool(processes=workers)
         finally:
             _FORK_SHARED = None
     try:

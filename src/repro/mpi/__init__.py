@@ -1,10 +1,12 @@
-"""Thread-backed MPI emulator with an mpi4py-style API.
+"""MPI emulator with an mpi4py-style API and pluggable backends.
 
 The paper's reference implementation is C++/MPI; this package provides a
 faithful message-passing runtime that executes the same SPMD algorithms
 on one host:
 
-* each rank runs the user's rank program in its own thread;
+* each rank runs the user's rank program in its own thread (default) or
+  its own forked process (``backend="processes"``, real parallelism
+  with shared-memory payload transfer — see ``docs/mpi_backends.md``);
 * lowercase methods (``send``/``recv``/``bcast``/...) communicate pickled
   Python objects, uppercase methods (``Send``/``Recv``/``Bcast``/...)
   communicate numpy buffers — mirroring mpi4py's convention;
@@ -12,7 +14,8 @@ on one host:
   ledger, and, when a :class:`~repro.platform.cluster.ClusterConfig` is
   supplied, advances per-rank virtual clocks through the α-β cost model
   so that runtime/energy of 64-rank platforms can be simulated
-  deterministically on a single core.
+  deterministically on a single core.  Accounting is identical on both
+  backends — only wall-clock time differs.
 
 Entry point: :func:`repro.mpi.runtime.run_spmd`.
 """
@@ -21,7 +24,15 @@ from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, words_of
 from repro.mpi.counters import TrafficLedger
 from repro.mpi.request import Request
 from repro.mpi.communicator import Communicator, REDUCE_OPS
-from repro.mpi.runtime import run_spmd, SPMDResult
+from repro.mpi.runtime import (
+    MPI_BACKEND_ENV,
+    MPI_BACKENDS,
+    SPMDResult,
+    default_mpi_backend_name,
+    resolve_mpi_backend,
+    run_spmd,
+    set_default_mpi_backend,
+)
 
 __all__ = [
     "ANY_SOURCE",
@@ -33,4 +44,9 @@ __all__ = [
     "REDUCE_OPS",
     "run_spmd",
     "SPMDResult",
+    "MPI_BACKEND_ENV",
+    "MPI_BACKENDS",
+    "default_mpi_backend_name",
+    "resolve_mpi_backend",
+    "set_default_mpi_backend",
 ]

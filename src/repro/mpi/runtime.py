@@ -7,10 +7,31 @@ Equivalent of ``mpiexec -n P python script.py`` for this library:
 ...     return comm.allreduce(comm.Get_rank())
 >>> run_spmd(4, program).returns
 [6, 6, 6, 6]
+
+Two interchangeable execution backends sit behind the same API (see
+``docs/mpi_backends.md``):
+
+* ``"threads"`` — every rank is a thread of this process.  Zero setup
+  cost, but all rank *Python* code shares one GIL, so wall-time never
+  beats serial for compute-bound programs.
+* ``"processes"`` — every rank is a forked worker process with its own
+  GIL; large ndarray payloads cross via shared memory.  The accounting
+  (traffic ledger, virtual clocks, RunReport totals) stays in the
+  parent and is bit-identical to the thread backend.
+
+``"auto"`` (the default) picks ``"processes"`` only where it can work
+and plausibly win: ``fork`` available, a non-daemonic single-threaded
+parent, more than one visible core, and ``size > 1``.  Resolution
+precedence: explicit ``backend=`` argument > process-wide default (the
+CLI's ``--mpi-backend`` sets it) > ``REPRO_MPI_BACKEND`` env var >
+``"auto"``.  A single-rank world always runs inline on the calling
+thread, whatever the backend says.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -18,8 +39,92 @@ from dataclasses import dataclass, field
 from repro.errors import DeadlockError, MPIEmulatorError, RankFailedError
 from repro.mpi.communicator import Communicator
 from repro.mpi.counters import TrafficLedger
-from repro.mpi.world import World
+from repro.mpi.world import ABORT_GRACE_CAP, World
 from repro.observability.report import record_spmd_run
+
+#: Environment override for the default SPMD execution backend.
+MPI_BACKEND_ENV = "REPRO_MPI_BACKEND"
+
+#: Concrete backend names (``"auto"`` resolves to one of these).
+MPI_BACKENDS = ("threads", "processes")
+
+_DEFAULT_MPI_BACKEND: str | None = None
+
+
+def set_default_mpi_backend(name: str | None) -> None:
+    """Set the process-wide default backend (``None`` clears it).
+
+    Sits between the explicit ``run_spmd(..., backend=...)`` argument
+    and the :data:`MPI_BACKEND_ENV` environment variable in precedence;
+    the CLI's ``--mpi-backend`` flag lands here.
+    """
+    global _DEFAULT_MPI_BACKEND
+    if name is not None:
+        name = str(name).strip().lower()
+        if name not in MPI_BACKENDS + ("auto",):
+            raise MPIEmulatorError(
+                f"unknown MPI backend {name!r}; choose from "
+                f"{MPI_BACKENDS + ('auto',)}")
+    _DEFAULT_MPI_BACKEND = name
+
+
+def default_mpi_backend_name() -> str:
+    """The backend used when ``run_spmd`` gets no ``backend=``."""
+    if _DEFAULT_MPI_BACKEND:
+        return _DEFAULT_MPI_BACKEND
+    env = os.environ.get(MPI_BACKEND_ENV, "").strip().lower()
+    return env or "auto"
+
+
+def _fork_capable() -> bool:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    # Daemonic processes may not fork children of their own.
+    return not multiprocessing.current_process().daemon
+
+
+def _visible_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _auto_backend(size: int) -> str:
+    """Pick processes only where fork is safe and parallelism can pay."""
+    if size < 2 or not _fork_capable():
+        return "threads"
+    if threading.active_count() > 1:
+        # Forking a multi-threaded parent can inherit locks held by
+        # other threads mid-operation; stay on the safe backend.
+        return "threads"
+    if _visible_cores() < 2:
+        return "threads"
+    return "processes"
+
+
+def resolve_mpi_backend(backend: str | None = None, *,
+                        size: int = 2) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    Precedence: ``backend`` argument > :func:`set_default_mpi_backend`
+    > :data:`MPI_BACKEND_ENV` > ``"auto"``.  Requesting
+    ``"processes"`` explicitly on a host that cannot fork raises;
+    ``"auto"`` silently degrades to ``"threads"``.
+    """
+    name = backend if backend is not None else default_mpi_backend_name()
+    name = str(name).strip().lower()
+    if name == "auto":
+        return _auto_backend(size)
+    if name not in MPI_BACKENDS:
+        raise MPIEmulatorError(
+            f"unknown MPI backend {name!r}; choose from "
+            f"{MPI_BACKENDS + ('auto',)}")
+    if name == "processes" and not _fork_capable():
+        raise MPIEmulatorError(
+            "MPI backend 'processes' requires a fork-capable, "
+            "non-daemonic host process; use backend='threads' or 'auto'")
+    return name
 
 
 @dataclass
@@ -43,6 +148,9 @@ class SPMDResult:
         Sum of FLOPs charged across ranks.
     wall_time:
         Host wall-clock seconds the emulation took.
+    backend:
+        The concrete execution backend the run used (``"threads"`` or
+        ``"processes"``).
     trace:
         Event list (op, ranks, start, end, words in simulated time)
         when the run was launched with ``trace=True``; ``None``
@@ -57,12 +165,45 @@ class SPMDResult:
     simulated_energy: float = 0.0
     total_flops: int = 0
     wall_time: float = 0.0
+    backend: str = "threads"
     trace: list | None = None
+
+
+def _join_with_abort_grace(world: World, threads: list) -> None:
+    """Join rank threads, but never indefinitely once the run failed.
+
+    A healthy world is joined without limit (legitimate long compute
+    must finish).  Once the world aborts, stragglers get a bounded
+    grace window — min of the world timeout and
+    :data:`~repro.mpi.world.ABORT_GRACE_CAP` — after which the world is
+    invalidated and the (daemon) threads are abandoned: their next
+    communication attempt raises instead of touching stale state.
+    """
+    grace = min(max(world.timeout, 0.1), ABORT_GRACE_CAP)
+    abort_mark: float | None = None
+    while True:
+        alive = [t for t in threads if t.is_alive()]
+        if not alive:
+            return
+        alive[0].join(timeout=0.05)
+        with world.cond:
+            aborted = world.abort_exc is not None
+        if not aborted:
+            abort_mark = None
+            continue
+        now = time.monotonic()
+        if abort_mark is None:
+            abort_mark = now
+        elif now - abort_mark > grace:
+            world.invalidate(
+                "run abandoned with rank threads still alive after the "
+                "abort grace period")
+            return
 
 
 def run_spmd(size: int, fn, *args, cluster=None, timeout: float = 120.0,
              collective_algorithm: str = "flat", trace: bool = False,
-             **kwargs) -> SPMDResult:
+             backend: str | None = None, **kwargs) -> SPMDResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``size`` emulated ranks.
 
     Parameters
@@ -80,6 +221,11 @@ def run_spmd(size: int, fn, *args, cluster=None, timeout: float = 120.0,
         deadlocked.
     collective_algorithm:
         ``"flat"`` (paper's model, default) or ``"tree"``.
+    backend:
+        ``"threads"``, ``"processes"`` or ``"auto"``; ``None`` defers
+        to :func:`set_default_mpi_backend`, then
+        :data:`MPI_BACKEND_ENV`, then ``"auto"``.  Model accounting is
+        identical across backends; only wall-time differs.
 
     Raises
     ------
@@ -119,18 +265,24 @@ def run_spmd(size: int, fn, *args, cluster=None, timeout: float = 120.0,
         finally:
             world.rank_finished()
 
+    backend_name = "threads"
     t0 = time.perf_counter()
     if size == 1:
-        # Fast path: no threads needed for a single rank.
+        # Fast path: a single rank needs no concurrency at all.
         runner(0)
     else:
-        threads = [threading.Thread(target=runner, args=(r,),
-                                    name=f"repro-mpi-rank-{r}", daemon=True)
-                   for r in range(size)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        backend_name = resolve_mpi_backend(backend, size=size)
+        if backend_name == "processes":
+            from repro.mpi.process_world import run_process_ranks
+            run_process_ranks(world, fn, args, kwargs, returns, deadlock)
+        else:
+            threads = [threading.Thread(target=runner, args=(r,),
+                                        name=f"repro-mpi-rank-{r}",
+                                        daemon=True)
+                       for r in range(size)]
+            for t in threads:
+                t.start()
+            _join_with_abort_grace(world, threads)
     wall = time.perf_counter() - t0
 
     if world.failures:
@@ -150,6 +302,7 @@ def run_spmd(size: int, fn, *args, cluster=None, timeout: float = 120.0,
         simulated_energy=sum(c.energy for c in world.clocks),
         total_flops=sum(c.flops for c in world.clocks),
         wall_time=wall,
+        backend=backend_name,
         trace=(sorted(world.trace, key=lambda e: (e["start"], e["end"]))
                if world.trace is not None else None),
     )

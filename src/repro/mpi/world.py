@@ -15,6 +15,13 @@ from repro.errors import DeadlockError, MPIEmulatorError
 from repro.mpi.counters import TrafficLedger
 from repro.platform.clock import VirtualClock
 
+#: Seconds a straggler rank gets after the world aborts before the
+#: runtime invalidates the world and abandons (threads) or terminates
+#: (processes) it.  The per-op ``timeout`` still bounds every *blocked*
+#: rank; this cap only limits how long a rank wedged in pure user code
+#: can delay teardown of an already-failed run.
+ABORT_GRACE_CAP = 5.0
+
 
 class Message:
     """One in-flight point-to-point message."""
@@ -77,6 +84,9 @@ class World:
         self.progress = 0
         self.abort_exc: BaseException | None = None
         self.failures: dict[int, BaseException] = {}
+        #: set by :meth:`invalidate` when the runtime abandons the run;
+        #: every later communication attempt raises via ``check_abort``.
+        self.invalidated = False
 
     # ------------------------------------------------------------------
     # abort / deadlock machinery (call with self.cond held)
@@ -99,6 +109,19 @@ class World:
             self.alive -= 1
             self.progress += 1
             self.cond.notify_all()
+
+    def invalidate(self, reason: str) -> None:
+        """Permanently poison the world after the runtime gives up on it.
+
+        A timed-out or aborted run can leave rank programs wedged in
+        user code; once the launcher stops waiting for them the world is
+        stale, and any late send/recv/collective from a straggler must
+        fail fast instead of depositing into dead mailboxes.  Safe to
+        call multiple times; takes the condition itself.
+        """
+        with self.cond:
+            self.invalidated = True
+            self._abort(MPIEmulatorError(f"world invalidated: {reason}"))
 
     def check_abort(self) -> None:
         """Raise if the world has been aborted (call with lock held)."""

@@ -41,6 +41,7 @@ from repro.store.streaming import (
     StreamingEncoder,
     StreamingReport,
     plan_block_width,
+    sample_store_dictionary,
 )
 
 __all__ = [
@@ -52,5 +53,6 @@ __all__ = [
     "is_column_store",
     "matrix_shape",
     "plan_block_width",
+    "sample_store_dictionary",
     "take_columns",
 ]

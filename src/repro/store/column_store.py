@@ -441,6 +441,31 @@ class ColumnStore:
         for index, (start, stop) in enumerate(self.chunk_bounds()):
             yield start, stop, self._read_chunk(index)
 
+    def shard_plan(self, p: int) -> list[tuple[int, int]]:
+        """Deterministic contiguous chunk partition for ``p`` ranks.
+
+        Returns one half-open column range ``(lo, hi)`` per rank,
+        chunk-aligned and covering ``[0, N)`` in rank order.  A pure
+        function of the manifest's chunk boundaries and ``p``: every
+        process derives the identical plan from the same manifest, so
+        SPMD ranks agree on column ownership without communicating.
+        Ranks beyond the chunk count receive empty ranges.
+        """
+        p = check_positive_int(p, "p")
+        bounds = self.chunk_bounds()
+        c = len(bounds)
+        n = self.shape[1]
+        plan: list[tuple[int, int]] = []
+        for r in range(p):
+            lo_c = r * c // p
+            hi_c = (r + 1) * c // p
+            if lo_c == hi_c:
+                edge = bounds[lo_c][0] if lo_c < c else n
+                plan.append((edge, edge))
+            else:
+                plan.append((bounds[lo_c][0], bounds[hi_c - 1][1]))
+        return plan
+
     def iter_blocks(self, width: int):
         """Yield ``(lo, hi, array)`` over fixed-width column blocks.
 

@@ -62,6 +62,7 @@ __all__ = [
     "StreamingEncoder",
     "StreamingReport",
     "plan_block_width",
+    "sample_store_dictionary",
 ]
 
 CHECKPOINT_NAME = "checkpoint.json"
@@ -159,6 +160,37 @@ class _Block:
     indptr: np.ndarray
     iterations: int
     converged: int
+
+
+def sample_store_dictionary(store: ColumnStore, size: int, *, seed=None,
+                            normalize: bool = True,
+                            count_read=None) -> Dictionary:
+    """Replay ``sample_dictionary`` reading only the needed panels.
+
+    Normalised atom values must match the in-memory
+    ``normalize_columns(A)[:, idx]`` bit-for-bit, so norms are computed
+    per aligned :data:`ENCODE_BLOCK_COLS` panel — the same reduction
+    the full-matrix normalisation uses for that panel.  Shared by the
+    streaming encoder and the distributed store transform (rank 0
+    samples, then broadcasts).  ``count_read(lo, hi, arr)``, when
+    given, observes every store read.
+    """
+    m, n = store.shape
+    rng = as_generator(seed)
+    idx = np.sort(rng.choice(n, size=size, replace=False))
+    if not normalize:
+        return Dictionary(store.read_columns(idx), idx)
+    atoms = np.empty((m, size), dtype=np.float64)
+    for panel in np.unique(idx // ENCODE_BLOCK_COLS):
+        lo = int(panel) * ENCODE_BLOCK_COLS
+        hi = min(lo + ENCODE_BLOCK_COLS, n)
+        raw = store.read_range(lo, hi)
+        if count_read is not None:
+            count_read(lo, hi, raw)
+        work, _ = normalize_columns(raw)
+        sel = (idx >= lo) & (idx < hi)
+        atoms[:, sel] = work[:, idx[sel] - lo]
+    return Dictionary(atoms, idx)
 
 
 class StreamingEncoder:
@@ -427,28 +459,9 @@ class StreamingEncoder:
     # dictionary sampling from disk
     # ------------------------------------------------------------------
     def _sample_dictionary(self) -> Dictionary:
-        """Replay ``sample_dictionary`` reading only the needed panels.
-
-        Normalised atom values must match the in-memory
-        ``normalize_columns(A)[:, idx]`` bit-for-bit, so norms are
-        computed per aligned :data:`ENCODE_BLOCK_COLS` panel — the same
-        reduction the full-matrix normalisation uses for that panel.
-        """
-        m, n = self.store.shape
-        rng = as_generator(self.seed)
-        idx = np.sort(rng.choice(n, size=self.size, replace=False))
-        if not self.normalize:
-            return Dictionary(self.store.read_columns(idx), idx)
-        atoms = np.empty((m, self.size), dtype=np.float64)
-        for panel in np.unique(idx // ENCODE_BLOCK_COLS):
-            lo = int(panel) * ENCODE_BLOCK_COLS
-            hi = min(lo + ENCODE_BLOCK_COLS, n)
-            raw = self.store.read_range(lo, hi)
-            self._count_read(lo, hi, raw)
-            work, _ = normalize_columns(raw)
-            sel = (idx >= lo) & (idx < hi)
-            atoms[:, sel] = work[:, idx[sel] - lo]
-        return Dictionary(atoms, idx)
+        return sample_store_dictionary(
+            self.store, self.size, seed=self.seed,
+            normalize=self.normalize, count_read=self._count_read)
 
     def _count_read(self, lo: int, hi: int, arr: np.ndarray) -> None:
         self._bytes_read += arr.nbytes

@@ -220,3 +220,61 @@ class TestParser:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestMpiBackendAndStoreDistributed:
+    def _store(self, tmp_path, n=300):
+        assert main(["ingest", "--dataset", "salina", "--n", str(n),
+                     "--store", str(tmp_path / "s.store"),
+                     "--chunk-width", "128"]) == 0
+        return str(tmp_path / "s.store")
+
+    def test_mpi_backend_flag_reported(self, tmp_path, capsys):
+        assert main(["transform", "--dataset", "salina", "--n", "128",
+                     "--size", "16", "--distributed",
+                     "--platform", "1x4", "--mpi-backend", "threads",
+                     "--out", str(tmp_path / "t.npz")]) == 0
+        assert "mpi backend: threads" in capsys.readouterr().out
+
+    def test_mpi_backend_default_cleared_after_run(self, tmp_path):
+        from repro.mpi import default_mpi_backend_name
+        assert main(["transform", "--dataset", "salina", "--n", "128",
+                     "--size", "16", "--distributed",
+                     "--platform", "1x4", "--mpi-backend", "threads",
+                     "--out", str(tmp_path / "t.npz")]) == 0
+        assert default_mpi_backend_name() == "auto"
+
+    def test_store_distributed_matches_streamed(self, tmp_path):
+        """--distributed now composes with --store: the rank-sharded
+        encode must be bit-identical to the serial streamed one."""
+        store = self._store(tmp_path)
+        assert main(["transform", "--store", store, "--size", "24",
+                     "--eps", "0.2", "--distributed",
+                     "--platform", "1x4", "--mpi-backend", "threads",
+                     "--out", str(tmp_path / "dist.npz")]) == 0
+        assert main(["transform", "--store", store, "--size", "24",
+                     "--eps", "0.2",
+                     "--out", str(tmp_path / "serial.npz")]) == 0
+        td = load_transform(tmp_path / "dist.npz")
+        ts = load_transform(tmp_path / "serial.npz")
+        np.testing.assert_array_equal(td.dictionary.atoms,
+                                      ts.dictionary.atoms)
+        np.testing.assert_array_equal(td.coefficients.data,
+                                      ts.coefficients.data)
+        np.testing.assert_array_equal(td.coefficients.indices,
+                                      ts.coefficients.indices)
+        np.testing.assert_array_equal(td.coefficients.indptr,
+                                      ts.coefficients.indptr)
+
+    def test_store_distributed_rejects_checkpoint(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        assert main(["transform", "--store", store, "--size", "24",
+                     "--distributed", "--checkpoint",
+                     str(tmp_path / "ckpt"),
+                     "--out", str(tmp_path / "t.npz")]) == 1
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_unknown_mpi_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["transform", "--dataset", "salina", "--size", "8",
+                  "--mpi-backend", "fibers"])

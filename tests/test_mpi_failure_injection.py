@@ -1,10 +1,20 @@
 """Emulator robustness under injected failures."""
 
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
 import numpy as np
 import pytest
 
-from repro.errors import DeadlockError, RankFailedError
+from repro.errors import DeadlockError, MPIEmulatorError, RankFailedError
 from repro.mpi import run_spmd
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend requires the fork start method")
 
 
 class TestFailurePropagation:
@@ -90,6 +100,91 @@ class TestDeadlockVariants:
             return total
         res = run_spmd(4, prog, timeout=30)
         assert res.returns == [sum(range(30))] * 4
+
+
+class TestTimeoutTeardown:
+    def test_wedged_rank_does_not_stall_teardown(self):
+        """A rank stuck in user code past the abort grace must not keep
+        ``run_spmd`` from returning, and its late send must raise
+        against the invalidated world instead of silently depositing."""
+        release = threading.Event()
+        late: list = []
+
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.recv(source=1)  # never satisfied -> deadlock
+            else:
+                release.wait(20.0)  # wedged well past timeout + grace
+                try:
+                    comm.send(1, dest=0)
+                except MPIEmulatorError as exc:
+                    late.append(exc)
+                    raise
+
+        t0 = time.monotonic()
+        with pytest.raises(DeadlockError):
+            run_spmd(2, prog, timeout=0.5, backend="threads")
+        # Pre-fix the launcher joined the wedged thread for the full
+        # 20 s sleep; with the abort grace it returns in ~1 s.
+        assert time.monotonic() - t0 < 5.0
+        release.set()
+        deadline = time.monotonic() + 5.0
+        while not late and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert late, "late send did not raise against the dead world"
+        assert isinstance(late[0], MPIEmulatorError)
+
+    @needs_fork
+    def test_wedged_process_rank_is_terminated(self):
+        """Process backend: a straggler is terminated and reaped after
+        the grace window rather than left running."""
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.recv(source=1)  # never satisfied -> deadlock
+            else:
+                time.sleep(30.0)
+
+        t0 = time.monotonic()
+        with pytest.raises(DeadlockError):
+            run_spmd(2, prog, timeout=0.5, backend="processes")
+        assert time.monotonic() - t0 < 15.0
+        leftovers = [p for p in multiprocessing.active_children()
+                     if p.name.startswith("repro-mpi-rank")]
+        assert not leftovers
+
+
+@needs_fork
+class TestProcessRankDeath:
+    def test_sigkilled_rank_mid_collective(self):
+        """SIGKILL of one worker while peers sit in a collective must
+        surface as RankFailedError within the timeout, not a hang."""
+        def prog(comm):
+            if comm.Get_rank() == 1:
+                time.sleep(0.3)  # let the peers enter the allreduce
+                os.kill(os.getpid(), signal.SIGKILL)
+            return comm.allreduce(1)
+
+        t0 = time.monotonic()
+        with pytest.raises(RankFailedError) as exc_info:
+            run_spmd(3, prog, timeout=20, backend="processes")
+        assert time.monotonic() - t0 < 20.0
+        assert 1 in exc_info.value.failures
+        assert "died" in str(exc_info.value.failures[1])
+
+    def test_sigkilled_rank_leaves_no_shm(self):
+        """Segments of a killed run are swept at teardown."""
+        def prog(comm):
+            payload = np.ones(100_000)  # above the shm threshold
+            if comm.Get_rank() == 0:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return comm.bcast(payload if comm.Get_rank() == 0 else None,
+                              root=0)
+
+        with pytest.raises(RankFailedError):
+            run_spmd(2, prog, timeout=20, backend="processes")
+        if os.path.isdir("/dev/shm"):
+            import glob
+            assert not glob.glob("/dev/shm/repro-mpi-*")
 
 
 class TestStress:

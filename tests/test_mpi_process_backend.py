@@ -1,0 +1,286 @@
+"""The multiprocess SPMD backend: resolution, shm plane, and parity.
+
+The process backend's contract is *accounting identity*: any rank
+program produces the same returns, the same traffic-ledger word counts,
+the same virtual-clock totals, and (for the store-backed distributed
+transform) bit-identical coefficients, whichever backend executes it.
+These tests pin that contract, plus the backend-resolution precedence,
+the shared-memory payload codec, and the store's deterministic shard
+plan.
+"""
+
+import glob
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro import observability as obs
+from repro.errors import MPIEmulatorError
+from repro.mpi import (
+    MPI_BACKEND_ENV,
+    default_mpi_backend_name,
+    resolve_mpi_backend,
+    run_spmd,
+    set_default_mpi_backend,
+)
+from repro.mpi.shm import (
+    SegmentRegistry,
+    ShmPayload,
+    decode_payload,
+    encode_payload,
+    export_array,
+    map_array,
+    shm_threshold_bytes,
+    sweep_orphans,
+)
+from repro.platform.presets import platform_by_name
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend requires the fork start method")
+
+
+@pytest.fixture(autouse=True)
+def _clear_backend_default():
+    yield
+    set_default_mpi_backend(None)
+
+
+# ----------------------------------------------------------------------
+# Backend resolution precedence
+# ----------------------------------------------------------------------
+class TestBackendResolution:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(MPI_BACKEND_ENV, raising=False)
+        assert default_mpi_backend_name() == "auto"
+
+    def test_env_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv(MPI_BACKEND_ENV, "threads")
+        assert default_mpi_backend_name() == "threads"
+        assert resolve_mpi_backend(None, size=4) == "threads"
+
+    def test_set_default_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(MPI_BACKEND_ENV, "threads")
+        set_default_mpi_backend("processes")
+        assert default_mpi_backend_name() == "processes"
+
+    def test_argument_overrides_everything(self, monkeypatch):
+        monkeypatch.setenv(MPI_BACKEND_ENV, "processes")
+        set_default_mpi_backend("processes")
+        assert resolve_mpi_backend("threads", size=4) == "threads"
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(MPIEmulatorError):
+            resolve_mpi_backend("mpi4py", size=2)
+        with pytest.raises(MPIEmulatorError):
+            set_default_mpi_backend("fibers")
+
+    def test_auto_degrades_to_threads_on_single_core(self, monkeypatch):
+        monkeypatch.setattr("repro.mpi.runtime._visible_cores", lambda: 1)
+        monkeypatch.delenv(MPI_BACKEND_ENV, raising=False)
+        assert resolve_mpi_backend(None, size=4) == "threads"
+
+    def test_auto_is_threads_for_single_rank(self):
+        assert resolve_mpi_backend("auto", size=1) == "threads"
+
+    def test_explicit_processes_without_fork_raises(self, monkeypatch):
+        monkeypatch.setattr("repro.mpi.runtime._fork_capable",
+                            lambda: False)
+        with pytest.raises(MPIEmulatorError):
+            resolve_mpi_backend("processes", size=2)
+        # auto must degrade silently on the same host
+        assert resolve_mpi_backend("auto", size=2) == "threads"
+
+    def test_result_reports_backend(self):
+        res = run_spmd(2, lambda comm: comm.allreduce(1),
+                       backend="threads")
+        assert res.backend == "threads"
+
+    @needs_fork
+    def test_result_reports_process_backend(self):
+        res = run_spmd(2, lambda comm: comm.allreduce(1),
+                       backend="processes")
+        assert res.backend == "processes"
+
+
+# ----------------------------------------------------------------------
+# Shared-memory payload codec
+# ----------------------------------------------------------------------
+class TestShmCodec:
+    def _namer(self, prefix="repro-test-shm"):
+        seq = iter(range(1000))
+        return lambda: f"{prefix}-{os.getpid()}-{next(seq)}"
+
+    def test_export_map_roundtrip_copy(self):
+        arr = np.arange(300.0).reshape(30, 10)
+        payload = export_array(arr, f"repro-test-shm-{os.getpid()}-rt")
+        assert isinstance(payload, ShmPayload)
+        out = map_array(payload, copy=True)
+        np.testing.assert_array_equal(out, arr)
+        assert out.flags.writeable
+
+    def test_export_map_roundtrip_pinned(self):
+        arr = np.arange(64, dtype=np.int64)
+        payload = export_array(arr, f"repro-test-shm-{os.getpid()}-pin")
+        view, seg = map_array(payload, copy=False)
+        try:
+            np.testing.assert_array_equal(view, arr)
+        finally:
+            del view
+            seg.close()
+
+    def test_small_arrays_ride_the_pipe(self):
+        small = np.ones(4)
+        enc = encode_payload(small, self._namer())
+        assert enc is small  # untouched, no segment created
+
+    def test_large_arrays_use_shm(self):
+        big = np.ones(shm_threshold_bytes() // 8 + 16)
+        enc = encode_payload(big, self._namer())
+        assert isinstance(enc, ShmPayload)
+        np.testing.assert_array_equal(decode_payload(enc), big)
+
+    def test_nested_containers(self):
+        big = np.ones(shm_threshold_bytes() // 8 + 16)
+        value = {"pair": (big, np.arange(3)), "tag": 7}
+        enc = encode_payload(value, self._namer())
+        assert isinstance(enc["pair"][0], ShmPayload)
+        dec = decode_payload(enc)
+        np.testing.assert_array_equal(dec["pair"][0], big)
+        np.testing.assert_array_equal(dec["pair"][1], np.arange(3))
+        assert dec["tag"] == 7
+
+    def test_decode_reports_names(self):
+        big = np.zeros(shm_threshold_bytes() // 8 + 16)
+        enc = encode_payload([big, big + 1], self._namer())
+        seen: list = []
+        decode_payload(enc, on_name=seen.append)
+        assert len(seen) == 2
+
+    def test_decode_reinterns_dtype_singleton(self):
+        import pickle
+        arr = pickle.loads(pickle.dumps(np.arange(5, dtype=np.int64)))
+        out = decode_payload(arr)
+        assert out.dtype is np.dtype(np.int64)
+
+    def test_registry_drain_and_sweep(self):
+        prefix = f"repro-test-orph-{os.getpid()}"
+        registry = SegmentRegistry()
+        for i in range(3):
+            export_array(np.ones(10), f"{prefix}-{i}")
+            registry.add(f"{prefix}-{i}")
+        assert registry.drain() == 3
+        assert registry.drain() == 0
+        export_array(np.ones(10), f"{prefix}-stray")
+        if os.path.isdir("/dev/shm"):
+            assert sweep_orphans(prefix) == 1
+            assert not glob.glob(f"/dev/shm/{prefix}*")
+        else:  # still reclaim it on exotic hosts
+            from repro.mpi.shm import unlink_quiet
+            unlink_quiet(f"{prefix}-stray")
+
+
+# ----------------------------------------------------------------------
+# Cross-backend accounting parity
+# ----------------------------------------------------------------------
+def _mixed_traffic_program(comm):
+    """Exercises p2p, large-payload bcast, callable ops and subcomms."""
+    rank, size = comm.Get_rank(), comm.Get_size()
+    big = np.full(20_000, float(rank))  # above the shm threshold
+    got = comm.bcast(big if rank == 0 else None, root=0)
+    total = comm.allreduce(float(got[0]) + rank,
+                           op=lambda a, b: a + b)
+    if rank == 0:
+        for dst in range(1, size):
+            comm.send({"round": dst}, dest=dst, tag=3)
+    else:
+        total += comm.recv(source=0, tag=3)["round"]
+    sub = comm.Split(color=rank % 2, key=rank)
+    total += sub.allreduce(1)
+    rows = comm.gather(np.arange(4) + rank, root=0)
+    comm.charge_flops(1000 * (rank + 1))
+    comm.barrier()
+    if rank == 0:
+        return total + float(np.sum(rows))
+    return total
+
+
+def _snapshot(res):
+    return (
+        res.returns,
+        {op: (t.calls, t.payload_words, t.wire_words)
+         for op, t in res.traffic.snapshot().items()},
+        res.clocks,
+        res.simulated_time,
+        res.simulated_energy,
+        res.total_flops,
+    )
+
+
+@needs_fork
+class TestBackendParity:
+    def test_mixed_traffic_identical(self):
+        cluster = platform_by_name("1x4")
+        runs = {
+            name: run_spmd(0, _mixed_traffic_program, cluster=cluster,
+                           backend=name)
+            for name in ("threads", "processes")
+        }
+        assert _snapshot(runs["threads"]) == _snapshot(runs["processes"])
+
+    @pytest.mark.parametrize("op", ["allreduce", "reduce", "gather",
+                                    "allgather", "scatter", "alltoall",
+                                    "reduce_scatter"])
+    def test_each_collective_identical(self, op):
+        def prog(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            if op == "allreduce":
+                return comm.allreduce(np.arange(6) + rank)
+            if op == "reduce":
+                return comm.reduce(rank + 1.5, root=0)
+            if op == "gather":
+                return comm.gather((rank, "x" * rank), root=0)
+            if op == "allgather":
+                return comm.allgather(rank * 2)
+            if op == "scatter":
+                chunks = ([list(range(size))] if rank == 0 else None)
+                return comm.scatter(chunks[0] if chunks else None,
+                                    root=0)
+            if op == "alltoall":
+                return comm.alltoall([rank * 10 + j
+                                      for j in range(size)])
+            return comm.reduce_scatter([float(rank + j)
+                                        for j in range(size)])
+
+        cluster = platform_by_name("1x4")
+        base = run_spmd(0, prog, cluster=cluster, backend="threads")
+        cand = run_spmd(0, prog, cluster=cluster, backend="processes")
+        b, c = _snapshot(base), _snapshot(cand)
+        for x, y in zip(b[0], c[0]):
+            if isinstance(x, np.ndarray):
+                np.testing.assert_array_equal(x, y)
+            else:
+                assert x == y
+        assert b[1:] == c[1:]
+
+    def test_report_totals_identical(self):
+        """Eq. 2/3 totals (simulated time/energy) and ledger word
+        counts folded into the RunReport must match across backends."""
+        cluster = platform_by_name("1x4")
+        sections = {}
+        for name in ("threads", "processes"):
+            with obs.observed(fresh=True):
+                run_spmd(0, _mixed_traffic_program, cluster=cluster,
+                         backend=name)
+                report = obs.collect_report().to_dict()
+            clocks = dict(report["clocks"])
+            clocks.pop("wall_time", None)
+            sections[name] = (clocks, report["traffic"])
+        assert sections["threads"] == sections["processes"]
+
+    def test_no_shm_leak_after_runs(self):
+        run_spmd(3, _mixed_traffic_program, backend="processes")
+        if os.path.isdir("/dev/shm"):
+            assert not glob.glob("/dev/shm/repro-mpi-*")

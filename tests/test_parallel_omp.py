@@ -20,7 +20,9 @@ from repro.linalg.omp import batch_omp_matrix
 from repro.linalg.parallel_omp import (
     GRAM_CACHE,
     GramCache,
+    _can_fork,
     default_chunk_size,
+    fork_map,
     parallel_batch_omp_matrix,
     parallel_least_squares,
     resolve_workers,
@@ -198,6 +200,44 @@ class TestGramCache:
         batch_omp_matrix(d, a, 0.1)
         assert GRAM_CACHE.misses == misses
         assert GRAM_CACHE.hits >= 1
+
+
+def _backend_probe(shared, payload):
+    """Report the kernel a task would resolve, then poison the env.
+
+    With backend pinning every task (and every reused pool worker)
+    still resolves the backend the parent chose at ``fork_map`` entry;
+    without it the second task re-resolves the poisoned env and raises.
+    """
+    import os
+
+    from repro.linalg.kernels import resolve_backend
+
+    name = resolve_backend(None).name
+    os.environ["REPRO_OMP_BACKEND"] = "no-such-kernel"
+    return name
+
+
+class TestForkMapBackendPinning:
+    def test_fallback_path_ignores_env_mutation(self, monkeypatch):
+        import os
+        monkeypatch.delenv("REPRO_OMP_BACKEND", raising=False)
+        try:
+            names = fork_map(_backend_probe, range(4), None, workers=1)
+        finally:
+            os.environ.pop("REPRO_OMP_BACKEND", None)
+        assert names == ["numpy"] * 4
+
+    def test_fork_pool_path_ignores_env_mutation(self, monkeypatch):
+        import os
+        if not _can_fork():
+            pytest.skip("fork pool unavailable in this process")
+        monkeypatch.delenv("REPRO_OMP_BACKEND", raising=False)
+        try:
+            names = fork_map(_backend_probe, range(6), None, workers=2)
+        finally:
+            os.environ.pop("REPRO_OMP_BACKEND", None)
+        assert names == ["numpy"] * 6
 
 
 class TestParallelLeastSquares:
