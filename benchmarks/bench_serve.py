@@ -20,14 +20,18 @@ import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.core import exd_transform
+from repro.core import CostModel, exd_transform
 from repro.data import union_of_subspaces
+from repro.platform import platform_by_name
 from repro.serve import ServeApp
 from repro.utils import format_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 M, N, L, EPS = 64, 400, 48, 0.1
 CONCURRENCIES = (1, 4, 16, 32)
@@ -121,11 +125,34 @@ def test_batched_vs_unbatched_latency(problem, report):
                 rows.append([label, conc, f"{p50:.2f}", f"{p99:.2f}",
                              daemon.app.batcher.coalesced_batches])
 
+    # Machine-readable record (same schema as BENCH_spmd.json): one row
+    # per (config, concurrency).  wall_s is the measured client-side p50
+    # per request; virtual_s is the Eq. 2 prediction for one-column
+    # encode work on the serial 1x1 platform, so ratio folds in queueing
+    # and HTTP overhead on top of the modeled arithmetic.
+    model = CostModel(platform_by_name("1x1"))
+    nnz_per_col = transform.nnz / transform.n
+    virtual_s = model.time_seconds(M, L, max(int(round(nnz_per_col)), 1))
+    records = [
+        {
+            "workload": f"serve_encode_c{conc}",
+            "shape": [M, N, L],
+            "backend": label,
+            "wall_s": p50 / 1e3,
+            "virtual_s": virtual_s,
+            "ratio": (p50 / 1e3) / virtual_s if virtual_s > 0
+            else float("inf"),
+        }
+        for (label, conc), p50 in sorted(summary.items())
+    ]
+    (REPO_ROOT / "BENCH_serve.json").write_text(
+        json.dumps(records, indent=2) + "\n")
+
     table = format_table(
         ["config", "clients", "p50 ms", "p99 ms", "coalesced"], rows,
         title=f"encode service latency (M={M}, L={L}, "
               f"{REQUESTS_PER_LEVEL} requests/level)")
-    report("serve latency", table)
+    report("serve latency", table + "\nwrote BENCH_serve.json")
 
     # the acceptance criterion: batching wins at concurrency >= 16
     for conc in (16, 32):

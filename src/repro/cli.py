@@ -11,7 +11,13 @@ Commands
     Run the platform-aware tuner on a dataset and print the Sec. VII
     tuning table.
 ``transform``
-    Build an ExD transform (tuned or fixed-L) and save it to ``.npz``.
+    Build an ExD transform (tuned or fixed-L) and save it to ``.npz``;
+    ``--fast-dict RC`` factors the sampled dictionary into a sparse
+    fast transform before encoding.
+``fit-fast``
+    Factor a saved transform's dense dictionary into a
+    :class:`~repro.core.fastdict.FastDict` post hoc and report the
+    modeled apply speedup.
 ``pca``
     Top-k PCA through a transform, with the exact spectrum and the
     learning error (the Fig. 10/12 measurement for one configuration).
@@ -202,6 +208,16 @@ def cmd_transform(args) -> int:
             f"{args.memory_budget_mb}")
     budget = (int(args.memory_budget_mb * 2**20)
               if args.memory_budget_mb is not None else None)
+    fast_cfg = None
+    if args.fast_dict is not None:
+        from repro.core.fastdict import FastDictConfig
+
+        if args.distributed:
+            raise ReproError("--fast-dict cannot be combined with "
+                             "--distributed (the SPMD encode shares the "
+                             "dense sampled dictionary across ranks)")
+        fast_cfg = FastDictConfig(rc=args.fast_dict,
+                                  levels=args.fast_levels)
     if args.size is not None:
         if args.distributed:
             # A ColumnStore input is rank-sharded: each emulated rank
@@ -218,7 +234,8 @@ def cmd_transform(args) -> int:
                 a, args.size, args.eps, seed=args.seed,
                 workers=args.workers, memory_budget_bytes=budget,
                 block_width=args.block_width,
-                checkpoint_dir=args.checkpoint)
+                checkpoint_dir=args.checkpoint,
+                fast_dict=fast_cfg)
             transform, stats, rep = encoder.run(resume=args.resume)
             print(f"streamed {rep.blocks_total} blocks of "
                   f"{rep.block_width} columns "
@@ -229,7 +246,8 @@ def cmd_transform(args) -> int:
         else:
             transform, stats = exd_transform(a, args.size, args.eps,
                                              seed=args.seed,
-                                             workers=args.workers)
+                                             workers=args.workers,
+                                             fast_dict=fast_cfg)
     elif args.distributed:
         raise ReproError("--distributed requires a fixed --size "
                          "(the distributed encoder skips tuning)")
@@ -240,14 +258,57 @@ def cmd_transform(args) -> int:
                       workers=args.workers,
                       memory_budget_bytes=budget,
                       block_width=args.block_width,
-                      checkpoint_dir=args.checkpoint).fit(
+                      checkpoint_dir=args.checkpoint,
+                      fast_dict=fast_cfg).fit(
                           a, resume=args.resume)
         transform, stats = ext.transform_, ext.stats_
     path = save_transform(transform, args.out)
     print(f"data {a.shape[0]}x{a.shape[1]} -> D {transform.m}x{transform.l}"
           f" + C with nnz={transform.nnz} (alpha={transform.alpha:.2f})")
+    if "fastdict_rc" in transform.meta:
+        dense_cost = transform.m * transform.l
+        tnnz = transform.dictionary.transform_nnz
+        print(f"fast dictionary: RC={transform.meta['fastdict_rc']:.3f} "
+              f"(transform_nnz={tnnz}, modeled apply speedup "
+              f"{dense_cost / tnnz:.2f}x), factorisation residual "
+              f"{transform.meta['fastdict_residual']:.3e}")
     print(f"all columns met eps={args.eps}: {stats.all_converged}")
     print(f"saved transform to {path}")
+    return 0
+
+
+def cmd_fit_fast(args) -> int:
+    """Factor a saved transform's dense dictionary into a FastDict."""
+    from repro.core import load_transform
+    from repro.core.dictionary import Dictionary
+    from repro.core.fastdict import fit_fast_dict
+    from repro.core.transform import TransformedData
+
+    transform = load_transform(args.transform)
+    if not isinstance(transform.dictionary, Dictionary):
+        raise ReproError(
+            f"{args.transform} already holds a factored dictionary "
+            f"({type(transform.dictionary).__name__}); fit-fast needs a "
+            f"dense one")
+    fd = fit_fast_dict(transform.dictionary, rc=args.rc,
+                       levels=args.levels, iters=args.iters,
+                       seed=args.seed)
+    meta = dict(transform.meta)
+    meta["fastdict_rc"] = float(fd.relative_complexity)
+    meta["fastdict_residual"] = float(fd.residual)
+    updated = TransformedData(dictionary=fd,
+                              coefficients=transform.coefficients,
+                              eps=transform.eps, method=transform.method,
+                              meta=meta)
+    out = args.out or args.transform
+    path = save_transform(updated, out)
+    dense_cost = fd.m * fd.size
+    print(f"D {fd.m}x{fd.size} -> {fd.levels} factors, "
+          f"transform_nnz={fd.transform_nnz} "
+          f"(RC={fd.relative_complexity:.3f}, requested {args.rc})")
+    print(f"modeled apply speedup: {dense_cost / fd.transform_nnz:.2f}x; "
+          f"factorisation residual |D-S1..SJ|_F/|D|_F = {fd.residual:.3e}")
+    print(f"saved factored transform to {path}")
     return 0
 
 
@@ -396,8 +457,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="encode on the emulated --platform cluster "
                            "(requires --size); populates MPI traffic "
                            "and virtual clocks in the run report")
+    p_tr.add_argument("--fast-dict", type=float, default=None,
+                      metavar="RC",
+                      help="learn a sparse-factor fast-transform "
+                           "dictionary with relative complexity RC in "
+                           "(0, 1]: applying D costs ~RC*M*L instead "
+                           "of M*L (see docs/fastdict.md)")
+    p_tr.add_argument("--fast-levels", type=int, default=2, metavar="J",
+                      help="number of sparse factors for --fast-dict "
+                           "(default: 2)")
     p_tr.add_argument("--out", default="transform.npz",
                       help="output path (default: transform.npz)")
+
+    p_ff = sub.add_parser("fit-fast", help="factor a saved transform's "
+                                           "dictionary into a FastDict")
+    _add_observability_arguments(p_ff)
+    p_ff.add_argument("--transform", required=True, metavar="FILE.npz",
+                      help="transform archive written by `transform`")
+    p_ff.add_argument("--rc", type=float, default=0.25,
+                      help="relative-complexity budget "
+                           "nnz(S1..SJ)/(M*L) (default: 0.25)")
+    p_ff.add_argument("--levels", type=int, default=2, metavar="J",
+                      help="number of sparse factors (default: 2)")
+    p_ff.add_argument("--iters", type=int, default=10,
+                      help="alternating refinement sweeps (default: 10)")
+    p_ff.add_argument("--seed", type=int, default=0,
+                      help="factorisation init seed (default: 0)")
+    p_ff.add_argument("--out", default=None, metavar="FILE.npz",
+                      help="output path (default: overwrite the input)")
 
     p_srv = sub.add_parser("serve", help="run the low-latency encode "
                                          "service")
@@ -444,6 +531,7 @@ _COMMANDS = {
     "ingest": cmd_ingest,
     "tune": cmd_tune,
     "transform": cmd_transform,
+    "fit-fast": cmd_fit_fast,
     "pca": cmd_pca,
     "serve": cmd_serve,
 }

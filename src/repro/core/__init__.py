@@ -4,7 +4,14 @@ estimator, the automated tuner (Sec. VII), evolving-data updates
 (Sec. V-E) and the end-to-end :class:`ExtDict` framework API.
 """
 
-from repro.core.dictionary import Dictionary, sample_dictionary
+from repro.core.dictionary import DictOperator, Dictionary, sample_dictionary
+from repro.core.fastdict import (
+    BlockDictOperator,
+    FastDict,
+    FastDictConfig,
+    FastFactor,
+    fit_fast_dict,
+)
 from repro.core.transform import TransformedData
 from repro.core.exd import ExDStats, exd_transform, exd_transform_distributed
 from repro.core.gram import (
@@ -24,18 +31,26 @@ from repro.core.cost_model import (
 )
 from repro.core.alpha import AlphaEstimate, measure_alpha, alpha_curve, estimate_alpha_from_subsets
 from repro.core.tuner import (
+    FastTuningResult,
     TuningResult,
     find_min_feasible_size,
     tune_dictionary_size,
     tune_dictionary_size_distributed,
+    tune_fast_dictionary,
 )
 from repro.core.evolve import ExtendResult, extend_transform, extend_transform_distributed
 from repro.core.framework import ExtDict
 from repro.core.io import load_transform, save_transform
 
 __all__ = [
+    "DictOperator",
     "Dictionary",
     "sample_dictionary",
+    "BlockDictOperator",
+    "FastDict",
+    "FastDictConfig",
+    "FastFactor",
+    "fit_fast_dict",
     "TransformedData",
     "ExDStats",
     "exd_transform",
@@ -56,8 +71,10 @@ __all__ = [
     "alpha_curve",
     "estimate_alpha_from_subsets",
     "TuningResult",
+    "FastTuningResult",
     "tune_dictionary_size",
     "tune_dictionary_size_distributed",
+    "tune_fast_dictionary",
     "find_min_feasible_size",
     "ExtendResult",
     "extend_transform",

@@ -5,17 +5,79 @@ Algorithm 1 step 0: processor 0 draws a random size-L index subset of
 ``D = A[:, I]``.  The theoretical backing (Sec. V-C) is subspace
 sampling: with ``L = Ω(k log k / (1−δ)²)`` random columns the sampled
 span captures the best rank-k approximation up to ``1/δ``.
+
+This module also defines the ``DictOperator`` protocol — the linear-
+operator contract every encode path (serial, parallel, streaming,
+serving) programs against, so a factored
+:class:`~repro.core.fastdict.FastDict` can replace the dense GEMM
+without the callers knowing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_matrix, check_positive_int
+
+
+@runtime_checkable
+class DictOperator(Protocol):
+    """Linear-operator view of a dictionary ``D`` (M × L).
+
+    Implemented by the dense :class:`Dictionary`, the factored
+    :class:`~repro.core.fastdict.FastDict` and the evolve-path
+    :class:`~repro.core.fastdict.BlockDictOperator`.  Consumers
+    (``batch_omp_matrix``, the parallel engine, ``StreamingEncoder``,
+    the serve registry/batcher) only touch these members, so the cost
+    of applying ``D`` is whatever the operator's structure allows —
+    ``O(M·L)`` dense, ``O(Σⱼ nnz(Sⱼ))`` factored.
+
+    ``atoms`` must still materialise a dense ``(M, L)`` array (used for
+    Gram precompute, reconstruction and serialisation); it must never
+    be needed in a per-panel hot loop.
+    """
+
+    @property
+    def m(self) -> int:
+        """Signal dimension (rows of D)."""
+        ...
+
+    @property
+    def size(self) -> int:
+        """Number of atoms (columns of D)."""
+        ...
+
+    @property
+    def atoms(self) -> np.ndarray:
+        """Dense ``(M, L)`` materialisation."""
+        ...
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Source-column provenance of each atom."""
+        ...
+
+    @property
+    def transform_nnz(self) -> int:
+        """Multiplies needed for one ``Dᵀx`` apply (Eq. 2 term)."""
+        ...
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """``D @ x`` for ``x`` of shape ``(L,)`` or ``(L, k)``."""
+        ...
+
+    def apply_t(self, a: np.ndarray) -> np.ndarray:
+        """``Dᵀ @ a`` for ``a`` of shape ``(M,)`` or ``(M, k)``."""
+        ...
+
+    def gram(self) -> np.ndarray:
+        """``G = DᵀD``, cached across calls."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -62,9 +124,25 @@ class Dictionary:
         """Dense storage in words: M·L."""
         return self.m * self.size
 
+    @property
+    def transform_nnz(self) -> int:
+        """Dense apply cost: every ``Dᵀx`` touches all M·L entries."""
+        return self.m * self.size
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """``D @ x`` (dense GEMM)."""
+        return self.atoms @ x
+
+    def apply_t(self, a: np.ndarray) -> np.ndarray:
+        """``Dᵀ @ a`` (dense GEMM) — bit-identical to ``atoms.T @ a``."""
+        return self.atoms.T @ a
+
     def gram(self) -> np.ndarray:
-        """``DᵀD`` — precomputed once per Batch-OMP run."""
-        return self.atoms.T @ self.atoms
+        """``DᵀD`` — computed once and served from the process-wide
+        Gram LRU on every later call (keyed on this exact atoms
+        array, so repeated calls return the same cached object)."""
+        from repro.linalg.parallel_omp import cached_gram
+        return cached_gram(self.atoms)
 
     def concat(self, other: "Dictionary") -> "Dictionary":
         """Concatenate atom sets (evolving-data dictionary extension)."""

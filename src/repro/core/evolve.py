@@ -63,8 +63,6 @@ def _stream_new_column_codes(transform: TransformedData, store,
     returned codes and ε verdicts are bit-identical to feeding the
     dense ``store.as_array()`` through :func:`batch_omp_matrix`.
     """
-    from repro.linalg.parallel_omp import cached_gram
-
     eps = transform.eps
     normalize = bool(transform.meta.get("normalized", True))
     width = block_width if block_width is not None \
@@ -73,14 +71,14 @@ def _stream_new_column_codes(transform: TransformedData, store,
         raise ValidationError(
             f"block_width must be a positive multiple of "
             f"{ENCODE_BLOCK_COLS}, got {block_width}")
-    gram = cached_gram(transform.dictionary.atoms)
+    gram = transform.dictionary.gram()
     parts, masks = [], []
     for _lo, _hi, raw in store.iter_blocks(width):
         if normalize:
             work, norms = normalize_columns(raw)
         else:
             work, norms = raw, None
-        c_blk, st = batch_omp_matrix(transform.dictionary.atoms, work,
+        c_blk, st = batch_omp_matrix(transform.dictionary, work,
                                      eps, gram=gram, workers=workers)
         if normalize:
             c_blk = _rescale_columns(c_blk, norms)
@@ -99,6 +97,10 @@ def extend_transform(transform: TransformedData, a_new, *, seed=None,
     ----------
     transform:
         The current ``A ≈ DC`` (must be an ExD-style sparse transform).
+        The dictionary may be any ``DictOperator``: a factored
+        :class:`~repro.core.fastdict.FastDict` base grows into a
+        ``[FastDict | dense C]`` block operator, keeping the factored
+        apply for the base atoms.
     a_new:
         New columns, shape ``(M, N_new)`` — a dense array or a
         :class:`~repro.store.ColumnStore` (the new columns are then
@@ -140,7 +142,7 @@ def extend_transform(transform: TransformedData, a_new, *, seed=None,
             work, norms = normalize_columns(a_new)
         else:
             work, norms = a_new, None
-        codes, stats = batch_omp_matrix(transform.dictionary.atoms, work,
+        codes, stats = batch_omp_matrix(transform.dictionary, work,
                                         eps, workers=workers)
         col_ok = stats.converged_mask
         if normalize:
@@ -216,7 +218,7 @@ def _extend_rank_program(comm, transform, a_new, seed,
     else:
         work = block
     if block.shape[1]:
-        _, stats = batch_omp_matrix(transform.dictionary.atoms, work,
+        _, stats = batch_omp_matrix(transform.dictionary, work,
                                     transform.eps, workers=workers)
         comm.charge_flops(stats.flops)
     comm.barrier()

@@ -26,7 +26,7 @@ from repro.core.transform import TransformedData
 from repro.errors import ValidationError
 from repro.linalg.omp import batch_omp_matrix, blocked_column_norms
 from repro.sparse.csc import CSCMatrix
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, derive_seed
 from repro.utils.validation import check_fraction, check_matrix, check_positive_int
 
 
@@ -67,7 +67,8 @@ def exd_transform(a, size: int, eps: float, *, seed=None,
                   workers: int | None = None,
                   memory_budget_bytes: int | None = None,
                   block_width: int | None = None,
-                  checkpoint_dir=None, resume: bool = False) \
+                  checkpoint_dir=None, resume: bool = False,
+                  fast_dict=None) \
         -> tuple[TransformedData, ExDStats]:
     """Serial ExD: sample ``D`` and sparse-code every column of ``A``.
 
@@ -87,7 +88,17 @@ def exd_transform(a, size: int, eps: float, *, seed=None,
         returned transform approximates the *original* ``A``.
     dictionary:
         Reuse a pre-sampled dictionary instead of sampling one (used by
-        the SPMD driver, where rank 0's sample is shared).
+        the SPMD driver, where rank 0's sample is shared).  May be any
+        ``DictOperator`` — passing a fitted
+        :class:`~repro.core.fastdict.FastDict` encodes through the
+        factor chain.
+    fast_dict:
+        Learn a sparse-factor fast transform of the sampled dictionary
+        before encoding (see :mod:`repro.core.fastdict`): a float is
+        the relative-complexity budget ``RC``, or pass a full
+        :class:`~repro.core.fastdict.FastDictConfig`.  Ignored when an
+        explicit already-factored ``dictionary`` is supplied; the fit
+        is deterministic given ``seed``.
     strict:
         Propagate :class:`~repro.errors.DictionaryError` when a column
         cannot meet ``eps`` (the ``L < L_min`` regime); otherwise the
@@ -113,7 +124,8 @@ def exd_transform(a, size: int, eps: float, *, seed=None,
             max_atoms=max_atoms, strict=strict, workers=workers,
             dictionary=dictionary,
             memory_budget_bytes=memory_budget_bytes,
-            block_width=block_width, checkpoint_dir=checkpoint_dir)
+            block_width=block_width, checkpoint_dir=checkpoint_dir,
+            fast_dict=fast_dict)
         transform, stats, _report = encoder.run(resume=resume)
         return transform, stats
     if (memory_budget_bytes is not None or block_width is not None
@@ -137,8 +149,14 @@ def exd_transform(a, size: int, eps: float, *, seed=None,
         elif dictionary.m != a.shape[0]:
             raise ValidationError(
                 f"dictionary rows {dictionary.m} != data rows {a.shape[0]}")
+        if fast_dict is not None and isinstance(dictionary, Dictionary):
+            from repro.core.fastdict import as_fast_dict_config, fit_fast_dict
+            cfg = as_fast_dict_config(fast_dict)
+            dictionary = fit_fast_dict(dictionary, rc=cfg.rc,
+                                       levels=cfg.levels, iters=cfg.iters,
+                                       seed=derive_seed(seed, 11))
 
-        c, omp_stats = batch_omp_matrix(dictionary.atoms, a_work, eps,
+        c, omp_stats = batch_omp_matrix(dictionary, a_work, eps,
                                         max_atoms=max_atoms, strict=strict,
                                         workers=workers)
         if normalize:
@@ -147,9 +165,13 @@ def exd_transform(a, size: int, eps: float, *, seed=None,
                      converged_columns=omp_stats.converged_columns,
                      omp_iterations=omp_stats.total_iterations,
                      flops=omp_stats.flops)
+    meta = {"normalized": normalize}
+    if not isinstance(dictionary, Dictionary):
+        meta["fastdict_rc"] = float(dictionary.relative_complexity)
+        meta["fastdict_residual"] = float(getattr(dictionary, "residual",
+                                                  0.0))
     transform = TransformedData(dictionary=dictionary, coefficients=c,
-                                eps=eps, method="exd",
-                                meta={"normalized": normalize})
+                                eps=eps, method="exd", meta=meta)
     obs.inc("exd.transforms")
     obs.observe("exd.alpha", transform.alpha)
     return transform, stats
@@ -190,7 +212,7 @@ def _exd_rank_program(comm, a, size, eps, seed, normalize, max_atoms,
     hi = (rank + 1) * n // p
     block = a_work[:, lo:hi]
     # Step 3: local Batch-OMP; FLOPs billed to this rank's clock.
-    c_local, stats = batch_omp_matrix(dictionary.atoms, block, eps,
+    c_local, stats = batch_omp_matrix(dictionary, block, eps,
                                       max_atoms=max_atoms, workers=workers)
     comm.charge_flops(stats.flops)
     if normalize:
@@ -227,7 +249,6 @@ def _exd_store_rank_program(comm, store, size, eps, seed, normalize,
     the assembled transform bit-identical to the serial streaming
     encode — on either MPI backend.
     """
-    from repro.linalg.parallel_omp import cached_gram
     from repro.store.streaming import (
         DEFAULT_STREAM_BLOCK,
         sample_store_dictionary,
@@ -243,7 +264,7 @@ def _exd_store_rank_program(comm, store, size, eps, seed, normalize,
         payload = None
     atoms, idx = comm.bcast(payload, root=0)
     dictionary = Dictionary(atoms, idx)
-    gram = cached_gram(dictionary.atoms)
+    gram = dictionary.gram()
 
     width = block_width if block_width is not None else DEFAULT_STREAM_BLOCK
     bounds = [(lo, min(lo + width, n)) for lo in range(0, n, width)]
@@ -263,7 +284,7 @@ def _exd_store_rank_program(comm, store, size, eps, seed, normalize,
             work, norms = normalize_columns(raw)
         else:
             work, norms = raw, None
-        c_blk, st = batch_omp_matrix(dictionary.atoms, work, eps,
+        c_blk, st = batch_omp_matrix(dictionary, work, eps,
                                      max_atoms=max_atoms, gram=gram,
                                      workers=workers)
         if normalize:

@@ -80,6 +80,14 @@ class ExtDict:
         :class:`~repro.store.ColumnStore` (see
         :class:`~repro.store.StreamingEncoder`); ignored for in-memory
         input.
+    fast_dict:
+        Learn a sparse-factor fast transform of the sampled dictionary
+        (:mod:`repro.core.fastdict`): a float is the relative-complexity
+        budget ``RC``, or pass a
+        :class:`~repro.core.fastdict.FastDictConfig`.  Applies to both
+        in-memory and store-backed fits; incompatible with
+        ``distributed_preprocess`` (the SPMD encode shares the dense
+        sample across ranks).
     """
 
     def __init__(self, eps: float = 0.1, *, cluster=None,
@@ -89,7 +97,8 @@ class ExtDict:
                  workers: int | None = None,
                  memory_budget_bytes: int | None = None,
                  block_width: int | None = None,
-                 checkpoint_dir=None) -> None:
+                 checkpoint_dir=None,
+                 fast_dict=None) -> None:
         self.eps = check_fraction(eps, "eps", inclusive_low=True)
         self.cluster = cluster
         self.objective = check_in(objective, "objective",
@@ -103,6 +112,16 @@ class ExtDict:
         self.memory_budget_bytes = memory_budget_bytes
         self.block_width = block_width
         self.checkpoint_dir = checkpoint_dir
+        if fast_dict is not None:
+            from repro.core.fastdict import as_fast_dict_config
+
+            if distributed_preprocess:
+                raise ValidationError(
+                    "fast_dict cannot be combined with "
+                    "distributed_preprocess: the SPMD encode shares the "
+                    "dense sampled dictionary across ranks")
+            fast_dict = as_fast_dict_config(fast_dict)
+        self.fast_dict = fast_dict
         self.cost_model = CostModel(cluster) if cluster is not None else None
         self.transform_ = None
         self.stats_ = None
@@ -172,10 +191,10 @@ class ExtDict:
                         workers=self.workers)
                     report.simulated_transform_seconds = spmd.simulated_time
                 else:
-                    transform, stats = exd_transform(a, size, self.eps,
-                                                     seed=self.seed,
-                                                     workers=self.workers,
-                                                     **stream_kwargs)
+                    transform, stats = exd_transform(
+                        a, size, self.eps, seed=self.seed,
+                        workers=self.workers, fast_dict=self.fast_dict,
+                        **stream_kwargs)
             report.transform_seconds = t.elapsed
         self.transform_ = transform
         self.stats_ = stats

@@ -66,16 +66,23 @@ class TransformedGramOperator:
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         c = self.transform.coefficients
-        d = self.transform.dictionary.atoms
+        dic = self.transform.dictionary
         v1, f1 = counted_matvec(c, np.asarray(x, dtype=np.float64))
         if self._gram is not None:
             v3 = self._gram @ v1
             l = self._gram.shape[0]
             self.flops += f1.total + 2 * l * l
         else:
-            v2, f2 = counted_dense_matvec(d, v1)
-            v3, f3 = counted_dense_rmatvec(d, v2)
-            self.flops += f1.total + f2.total + f3.total
+            # Case-2 shape: apply D and Dᵀ through the dictionary
+            # operator, charging its actual transform cost — for a
+            # dense dictionary, transform_nnz = M·L reproduces the
+            # counted_dense_matvec/rmatvec totals exactly; a factored
+            # dictionary is billed (and pays) Σⱼ nnz(Sⱼ) instead.
+            m, l = dic.m, dic.size
+            tnnz = dic.transform_nnz
+            v2 = dic.apply(v1)
+            v3 = dic.apply_t(v2)
+            self.flops += f1.total + (2 * tnnz - m) + (2 * tnnz - l)
         out, f4 = counted_rmatvec(c, v3)
         self.flops += f4.total
         return out

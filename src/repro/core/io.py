@@ -5,6 +5,14 @@ many learning runs (Sec. IV) — so a production deployment stores it.
 ``save_transform``/``load_transform`` round-trip a
 :class:`~repro.core.transform.TransformedData` through a single ``.npz``
 file (dictionary atoms, CSC arrays, ε, provenance).
+
+Format history: v1 stores a dense dictionary (``atoms``/``atom_indices``
+arrays).  v2 adds factored dictionaries
+(:class:`~repro.core.fastdict.FastDict` and the evolve-path block
+operator): the header grows a ``dictionary_kind`` field and the factor
+arrays are stored under their :func:`~repro.core.fastdict
+.operator_to_arrays` keys.  Dense transforms still write v1, so older
+readers keep working on anything they could have produced.
 """
 
 from __future__ import annotations
@@ -22,7 +30,9 @@ from repro.core.transform import TransformedData
 from repro.errors import ValidationError
 from repro.sparse.csc import CSCMatrix
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: Version written for dense-dictionary transforms (back-compatible).
+_DENSE_FORMAT_VERSION = 1
 
 
 def save_transform(transform: TransformedData, path) -> Path:
@@ -42,22 +52,34 @@ def save_transform(transform: TransformedData, path) -> Path:
             f"save_transform: dropping non-scalar meta keys {dropped}; "
             f"only str/int/float/bool/None values are persisted",
             stacklevel=2)
+    dictionary = transform.dictionary
+    if isinstance(dictionary, Dictionary):
+        version = _DENSE_FORMAT_VERSION
+        dict_arrays = {"atoms": dictionary.atoms,
+                       "atom_indices": dictionary.indices}
+        kind = None
+    else:
+        from repro.core.fastdict import operator_to_arrays
+
+        version = _FORMAT_VERSION
+        kind, dict_arrays = operator_to_arrays(dictionary)
     header = {
-        "format_version": _FORMAT_VERSION,
+        "format_version": version,
         "eps": transform.eps,
         "method": transform.method,
         "meta": meta,
     }
+    if kind is not None:
+        header["dictionary_kind"] = kind
     np.savez_compressed(
         path,
         header=np.frombuffer(json.dumps(header).encode("utf-8"),
                              dtype=np.uint8),
-        atoms=transform.dictionary.atoms,
-        atom_indices=transform.dictionary.indices,
         c_data=transform.coefficients.data,
         c_indices=transform.coefficients.indices,
         c_indptr=transform.coefficients.indptr,
         c_shape=np.asarray(transform.coefficients.shape, dtype=np.int64),
+        **dict_arrays,
     )
     return path
 
@@ -88,10 +110,21 @@ def load_transform(path) -> TransformedData:
                     f"{path} uses transform format {version}, newer than "
                     f"the latest supported ({_FORMAT_VERSION}); upgrade "
                     f"repro to read it")
-            if version != _FORMAT_VERSION:
+            if version not in (_DENSE_FORMAT_VERSION, _FORMAT_VERSION):
                 raise ValidationError(
                     f"unsupported transform format {version!r} in {path}")
-            dictionary = Dictionary(blob["atoms"], blob["atom_indices"])
+            kind = header.get("dictionary_kind")
+            if kind is not None:
+                from repro.core.fastdict import operator_from_arrays
+
+                reserved = {"header", "c_data", "c_indices", "c_indptr",
+                            "c_shape"}
+                arrays = {k: blob[k] for k in blob.files
+                          if k not in reserved}
+                dictionary = operator_from_arrays(str(kind), arrays)
+            else:
+                dictionary = Dictionary(blob["atoms"],
+                                        blob["atom_indices"])
             c = CSCMatrix(blob["c_data"], blob["c_indices"],
                           blob["c_indptr"], tuple(blob["c_shape"]))
             return TransformedData(dictionary=dictionary, coefficients=c,

@@ -24,7 +24,11 @@ class TransformedData:
     Attributes
     ----------
     dictionary:
-        The ``(M, L)`` dictionary.
+        The ``(M, L)`` dictionary — any
+        :class:`~repro.core.dictionary.DictOperator` (dense
+        :class:`~repro.core.dictionary.Dictionary`, factored
+        :class:`~repro.core.fastdict.FastDict`, or the evolve-path
+        block operator).
     coefficients:
         Sparse ``(L, N)`` coefficient matrix.
     eps:
@@ -124,12 +128,16 @@ class TransformedData:
         return float(np.sqrt(num_sq / den_sq))
 
     def project_vector(self, x: np.ndarray) -> np.ndarray:
-        """``(DC) x`` — the approximated data applied to a vector."""
-        return self.dictionary.atoms @ self.coefficients.matvec(x)
+        """``(DC) x`` — the approximated data applied to a vector.
+
+        Routes ``D`` through the dictionary operator, so a factored
+        dictionary pays its ``O(transform_nnz)`` apply.
+        """
+        return self.dictionary.apply(self.coefficients.matvec(x))
 
     def project_adjoint(self, y: np.ndarray) -> np.ndarray:
         """``(DC)ᵀ y``."""
-        return self.coefficients.rmatvec(self.dictionary.atoms.T @ y)
+        return self.coefficients.rmatvec(self.dictionary.apply_t(y))
 
     def __repr__(self) -> str:
         return (f"TransformedData(method={self.method!r}, M={self.m}, "

@@ -222,6 +222,95 @@ def tune_dictionary_size(a, eps: float, cost_model: CostModel, *,
                         table=table, subset_columns=columns_read)
 
 
+@dataclass
+class FastTuningResult:
+    """Outcome of a joint (L, RC) tuner run.
+
+    Attributes
+    ----------
+    best_size:
+        The cost-minimising dictionary size L*.
+    best_rc:
+        The cost-minimising relative-complexity budget (``1.0`` means a
+        dense dictionary wins — e.g. on memory-bound platforms where
+        the nnz(C) term dominates, or when the grid has no useful RC).
+    objective:
+        Which cost was minimised ("time", "energy", "memory").
+    table:
+        Per-candidate rows ``(L, rc, alpha, predicted_nnz, cost)``.
+    subset_columns:
+        Data columns actually read (same accounting as
+        :class:`TuningResult`).
+    """
+
+    best_size: int
+    best_rc: float
+    objective: str
+    table: list = field(default_factory=list)
+    subset_columns: int = 0
+
+    def cost_of(self, size: int, rc: float) -> float:
+        """Predicted cost of an (L, RC) candidate from the table."""
+        for l, r, _alpha, _nnz, cost in self.table:
+            if l == size and r == rc:
+                return cost
+        raise KeyError(f"(size={size}, rc={rc}) not in tuning table")
+
+
+def predicted_factor_nnz(m: int, l: int, rc: float) -> int:
+    """Planned ``Σⱼ nnz(Sⱼ)`` for a fit at budget ``rc``.
+
+    Floored at ``M + L`` — no factorisation of an ``M×L`` operator can
+    touch fewer entries and keep every row/column reachable — so the
+    tuner never credits an unphysical budget.
+    """
+    return max(int(round(rc * m * l)), m + l)
+
+
+def tune_fast_dictionary(a, eps: float, cost_model: CostModel, *,
+                         rc_grid=(0.1, 0.25, 0.5, 1.0),
+                         objective: str = "time", candidates=None,
+                         subset_fraction: float = 0.25, trials: int = 1,
+                         seed=None, workers: int | None = None,
+                         backend=None) -> FastTuningResult:
+    """Jointly pick (L*, RC*) minimising the factored Eq. 2/3/4 cost.
+
+    Extends :func:`tune_dictionary_size` with the fast-transform axis:
+    the α(L) estimation (the expensive part — real encodes on a data
+    subset) is shared across the RC grid, because the factored
+    dictionary encodes against the materialised ``D̂ ≈ D`` and so has
+    the same expected per-column density; only the model evaluation
+    differs, via the ``transform_nnz`` term of the extended Eqs. 2–4.
+    ``rc = 1.0`` rows use the plain dense model (``transform_nnz`` of
+    ``M·L``), so the dense optimum is always in the running.
+
+    Returns a :class:`FastTuningResult`; the dense-only table of the
+    underlying run is reproducible by filtering ``rc == 1.0`` rows.
+    """
+    from repro.store.column_store import check_matrix_or_store
+
+    rc_grid = sorted({float(check_fraction(rc, "rc")) for rc in rc_grid})
+    a = check_matrix_or_store(a, "A")
+    m, n = a.shape
+    base = tune_dictionary_size(a, eps, cost_model, objective=objective,
+                                candidates=candidates,
+                                subset_fraction=subset_fraction,
+                                trials=trials, seed=seed, workers=workers,
+                                backend=backend)
+    table = []
+    for l, alpha, predicted_nnz, _dense_cost in base.table:
+        for rc in rc_grid:
+            tnnz = None if rc >= 1.0 else predicted_factor_nnz(m, l, rc)
+            cost = cost_model.objective(objective, m, l, predicted_nnz, n,
+                                        transform_nnz=tnnz)
+            table.append((l, rc, alpha, predicted_nnz, cost))
+    best = min(table, key=lambda row: row[4])
+    obs.inc("tuner.fast_candidates_evaluated", len(table))
+    return FastTuningResult(best_size=best[0], best_rc=best[1],
+                            objective=objective, table=table,
+                            subset_columns=base.subset_columns)
+
+
 def _tuning_program(comm, a, eps, objective, candidates, n_sub, order,
                     trials, seed, cost_kind_args):
     """Rank program: candidates partitioned across ranks (Sec. VII on

@@ -96,20 +96,79 @@ def _padded_panel(a: np.ndarray, lo: int, hi: int) -> np.ndarray:
     return panel
 
 
-def blocked_dta(d: np.ndarray, a: np.ndarray) -> np.ndarray:
+def is_dict_operator(d) -> bool:
+    """True when ``d`` is a dictionary-like linear operator.
+
+    Duck-typed on the :class:`~repro.core.dictionary.DictOperator`
+    protocol members the encode paths need (``apply_t``/``gram``/
+    ``atoms``) rather than an isinstance check, so this low-level
+    module needs no import from :mod:`repro.core`.
+    """
+    return (hasattr(d, "apply_t") and hasattr(d, "gram")
+            and hasattr(d, "atoms"))
+
+
+def blocked_dta(d, a: np.ndarray, *, out: np.ndarray | None = None
+                ) -> np.ndarray:
     """``DᵀA`` evaluated on fixed-width contiguous column panels.
 
+    ``d`` may be a dense ``(M, L)`` array or any ``DictOperator`` —
+    the panel product then routes through ``d.apply_t`` so a factored
+    dictionary pays ``O(transform_nnz)`` per panel column instead of
+    ``O(M·L)``.  (A dense :class:`~repro.core.dictionary.Dictionary`
+    operator evaluates the very same ``atoms.T @ panel`` expression as
+    a bare array, so the bits are unchanged.)
+
+    ``out`` lets hot loops that evaluate many same-shaped products
+    (the streaming encoder's per-block precompute, the serve path's
+    per-micro-batch precompute, benchmarks) reuse one ``(L, n)``
+    float64 workspace: first-touch page faults on a fresh output are
+    comparable to the apply arithmetic itself for a factored
+    dictionary, so the reuse is where much of the fast-transform win
+    is realised.  The values written are identical either way.
+
     Bit-for-bit reproducible for any storage layout *and any column
-    grouping* of ``a``: every panel GEMM runs at exactly
+    grouping* of ``a``: every panel apply runs at exactly
     :data:`ENCODE_BLOCK_COLS` columns (zero-padded when partial), so
     each output column is a fixed-shape function of its input column
     alone — encoding the full matrix, an aligned sub-range, or an
     arbitrary micro-batch of single columns produces identical values.
     """
-    out = np.empty((d.shape[1], a.shape[1]), dtype=np.float64)
+    if is_dict_operator(d):
+        l = d.size
+        apply_t = d.apply_t
+    else:
+        l = d.shape[1]
+        apply_t = d.T.__matmul__
+    if out is None:
+        out = np.empty((l, a.shape[1]), dtype=np.float64)
+    elif out.shape != (l, a.shape[1]) or out.dtype != np.float64:
+        raise ValidationError(
+            f"out must be float64 of shape ({l}, {a.shape[1]}), got "
+            f"{out.dtype} {out.shape}")
     for lo, hi in encode_block_bounds(a.shape[1]):
-        out[:, lo:hi] = (d.T @ _padded_panel(a, lo, hi))[:, :hi - lo]
+        out[:, lo:hi] = apply_t(_padded_panel(a, lo, hi))[:, :hi - lo]
     return out
+
+
+def iter_panel_dta(d, a: np.ndarray):
+    """Yield ``(lo, hi, DᵀA[:, lo:hi])`` one panel at a time.
+
+    The values are exactly those of :func:`blocked_dta` — one padded
+    fixed-width apply per panel — but the full ``(L, N)`` product is
+    never materialised, so a consumer that uses each panel once (the
+    serial encode sweep) pays only the apply arithmetic plus one live
+    ``(L, 256)`` panel of memory traffic.  For a factored dictionary
+    the avoided ``(L, N)`` write/read is comparable to the whole
+    ``O(transform_nnz·N)`` apply, which is where the fast-transform
+    speedup is realised end to end.
+    """
+    if is_dict_operator(d):
+        apply_t = d.apply_t
+    else:
+        apply_t = d.T.__matmul__
+    for lo, hi in encode_block_bounds(a.shape[1]):
+        yield lo, hi, apply_t(_padded_panel(a, lo, hi))[:, :hi - lo]
 
 
 def blocked_column_squares(a: np.ndarray) -> np.ndarray:
@@ -263,6 +322,14 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
         -> tuple[CSCMatrix, BatchOMPStats]:
     """Sparse-code every column of ``a`` against dictionary ``d``.
 
+    ``d`` may be a dense ``(M, L)`` array or any ``DictOperator``
+    (dense :class:`~repro.core.dictionary.Dictionary`, factored
+    :class:`~repro.core.fastdict.FastDict`, evolve-path block
+    operator): the ``DᵀA`` precompute and the FLOP ledger then route
+    through the operator, so a factored dictionary's precompute costs
+    ``O(transform_nnz·N)`` instead of ``O(M·L·N)``.  A dense operator
+    reproduces the bare-array bits exactly.
+
     Returns the coefficient matrix ``C`` (CSC, shape ``(L, N)``) and the
     aggregate statistics (including an analytic FLOP estimate used to
     charge virtual clocks in the distributed preprocessing).
@@ -304,11 +371,20 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
         resolve_workers,
     )
 
-    d = np.asarray(d, dtype=np.float64)
+    op = d if is_dict_operator(d) else None
+    if op is None:
+        d = np.asarray(d, dtype=np.float64)
+        if d.ndim != 2:
+            raise ValidationError(f"dictionary must be 2-D, got {d.ndim}-D")
+        m, l = d.shape
+        transform_nnz = m * l
+    else:
+        m, l = op.m, op.size
+        transform_nnz = op.transform_nnz
     a = np.asarray(a, dtype=np.float64)
-    if d.ndim != 2 or a.ndim != 2 or d.shape[0] != a.shape[0]:
+    if a.ndim != 2 or a.shape[0] != m:
         raise ValidationError(
-            f"incompatible shapes: D{d.shape}, A{a.shape}")
+            f"incompatible shapes: D({m}, {l}), A{a.shape}")
     if resolve_workers(workers) > 1:
         return parallel_batch_omp_matrix(d, a, eps, max_atoms=max_atoms,
                                          strict=strict, gram=gram,
@@ -316,26 +392,24 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
                                          chunk_size=chunk_size,
                                          backend=backend)
     kernel = resolve_backend(backend)
-    m, l = d.shape
     n = a.shape[1]
     with obs.span("omp.encode"):
         if gram is None:
-            gram = cached_gram(d)
-        # O(M·N·L) in aligned BLAS-3 panels; the fixed partition (not one
-        # whole-matrix product) is what lets the out-of-core streaming
-        # encoder reproduce these bits block by block.
-        dta_all = blocked_dta(d, a)
+            gram = op.gram() if op is not None else cached_gram(d)
         col_sq = blocked_column_squares(a)
         builder = ColumnBuilder(nrows=l)
         total_iters = 0
         converged_mask = np.zeros(n, dtype=bool)
         # The greedy loops run panel-by-panel through the selected
         # kernel backend (each column is independent, so the grouping
-        # is free); strict-mode still fails on the smallest
-        # out-of-tolerance column index.
-        for lo, hi in encode_block_bounds(n):
+        # is free); the DᵀA precompute streams through the same aligned
+        # BLAS-3 panels (never materialising the (L, N) product — the
+        # fixed partition is also what lets the out-of-core streaming
+        # encoder reproduce these bits block by block).  Strict-mode
+        # still fails on the smallest out-of-tolerance column index.
+        for lo, hi, dta_panel in iter_panel_dta(d, a):
             results = kernel.batch_omp_columns(
-                gram, dta_all[:, lo:hi], col_sq[lo:hi], eps, max_atoms)
+                gram, dta_panel, col_sq[lo:hi], eps, max_atoms)
             for off, (support, coef, res_sq, it, ok) in enumerate(results):
                 if strict and not ok:
                     raise _strict_failure(eps, l, res_sq,
@@ -344,11 +418,12 @@ def batch_omp_matrix(d, a, eps: float, *, max_atoms: int | None = None,
                 total_iters += it
                 converged_mask[lo + off] = ok
         c = builder.finalize()
-    # FLOP model: DᵀA is 2·M·N·L; each greedy iteration touches O(L·k)
-    # for the alpha update plus O(k²) solves — dominated by 2·L per
-    # support entry per iteration, approximated with the paper's
-    # O(M·N·L + nnz(C)) bound.
-    flops = 2 * m * n * l + 4 * l * total_iters + 2 * c.nnz
+    # FLOP model: DᵀA is 2·transform_nnz·N (= 2·M·N·L dense — a
+    # factored dictionary's ledger counts its actual Σⱼ nnz(Sⱼ)); each
+    # greedy iteration touches O(L·k) for the alpha update plus O(k²)
+    # solves — dominated by 2·L per support entry per iteration,
+    # approximated with the paper's O(M·N·L + nnz(C)) bound.
+    flops = 2 * transform_nnz * n + 4 * l * total_iters + 2 * c.nnz
     stats = BatchOMPStats(columns=n,
                           converged_columns=int(converged_mask.sum()),
                           total_iterations=total_iters, flops=int(flops),

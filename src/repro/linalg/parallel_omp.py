@@ -334,14 +334,26 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
         BatchOMPStats,
         blocked_column_squares,
         blocked_dta,
+        is_dict_operator,
     )
 
-    d = np.asarray(d, dtype=np.float64)
+    op = d if is_dict_operator(d) else None
+    if op is None:
+        d = np.asarray(d, dtype=np.float64)
+        if d.ndim != 2:
+            raise ValidationError(f"dictionary must be 2-D, got {d.ndim}-D")
+        m, l = d.shape
+        transform_nnz = m * l
+    else:
+        # DictOperator (dense Dictionary / FastDict / block operator):
+        # only the parent touches it — workers receive the precomputed
+        # G/DᵀA panels, never the operator itself.
+        m, l = op.m, op.size
+        transform_nnz = op.transform_nnz
     a = np.asarray(a, dtype=np.float64)
-    if d.ndim != 2 or a.ndim != 2 or d.shape[0] != a.shape[0]:
+    if a.ndim != 2 or a.shape[0] != m:
         raise ValidationError(
-            f"incompatible shapes: D{d.shape}, A{a.shape}")
-    m, l = d.shape
+            f"incompatible shapes: D({m}, {l}), A{a.shape}")
     n = a.shape[1]
     nworkers = resolve_workers(workers)
     # Resolve config/env to a concrete kernel up front so every fork
@@ -352,7 +364,7 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
     kernel.warmup()
     with obs.span("omp.encode"):
         if gram is None:
-            gram = cached_gram(d)
+            gram = op.gram() if op is not None else cached_gram(d)
         # Same aligned-panel schedule as the serial path (see
         # repro.linalg.omp.ENCODE_BLOCK_COLS): serial, parallel and
         # store-streaming encodes all see bit-identical G/DᵀA/‖a_j‖².
@@ -395,7 +407,7 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
     indptr = np.concatenate(([0], np.cumsum(col_nnz))).astype(np.int64)
     c = CSCMatrix(data, indices, indptr, (l, n), check=False)
     total_iters = int(iterations.sum())
-    flops = 2 * m * n * l + 4 * l * total_iters + 2 * c.nnz
+    flops = 2 * transform_nnz * n + 4 * l * total_iters + 2 * c.nnz
     stats = BatchOMPStats(columns=n,
                           converged_columns=int(converged.sum()),
                           total_iterations=total_iters, flops=int(flops),
@@ -416,6 +428,9 @@ def encode_columns(d, columns, eps: float, *,
                    backend=None):
     """Sparse-code a stack of columns against ``d``, sharing one ``G``.
 
+    ``d`` may be a dense array or any ``DictOperator`` (the serving
+    registry hands the generation's dictionary object straight through,
+    so a factored ``FastDict`` tenant pays the factored ``DᵀA`` cost).
     ``columns`` is ``(M, k)`` — typically a micro-batch of coalesced
     single-column requests.  One call amortises the ``DᵀA`` product (and
     the Gram lookup) across the whole batch, which is exactly what makes

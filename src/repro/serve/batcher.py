@@ -299,9 +299,11 @@ class MicroBatcher:
         The Gram matrix travels through the process-wide
         :data:`~repro.linalg.parallel_omp.GRAM_CACHE` (warmed at load,
         keyed on the generation's atoms array), so the request path
-        never recomputes ``DᵀD``.
+        never recomputes ``DᵀD``.  The dictionary is passed as an
+        operator: a factored generation computes the ``DᵀA`` precompute
+        through its factor chain at ``O(transform_nnz)`` per column.
         """
-        return encode_columns(generation.transform.dictionary.atoms,
+        return encode_columns(generation.transform.dictionary,
                               columns, eps, max_atoms=max_atoms,
                               workers=self.workers, backend=self.backend)
 

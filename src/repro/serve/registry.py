@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 from repro import observability as obs
 from repro.core.io import load_transform
 from repro.core.transform import TransformedData
-from repro.linalg.parallel_omp import cached_gram
 from repro.serve.protocol import ServeError
 
 __all__ = ["DictionaryRegistry", "Generation"]
@@ -41,6 +40,7 @@ class Generation:
 
     def describe(self) -> dict:
         t = self.transform
+        tnnz = int(t.dictionary.transform_nnz)
         return {
             "generation": self.number,
             "source": self.source,
@@ -52,6 +52,8 @@ class Generation:
             "alpha": t.alpha,
             "eps": t.eps,
             "method": t.method,
+            "transform_nnz": tnnz,
+            "relative_complexity": tnnz / (t.m * t.l),
         }
 
 
@@ -83,7 +85,11 @@ class DictionaryRegistry:
         """
         if not tenant:
             raise ServeError(400, "tenant must be a non-empty string")
-        cached_gram(transform.dictionary.atoms)  # warm before visibility
+        # Warm before visibility.  Routing through the operator keeps
+        # the cache keyed on the materialised atoms for any dictionary
+        # kind — a factored generation warms (and serves) the same
+        # cache entry the encode path will hit.
+        transform.dictionary.gram()
         with self._lock:
             entry = self._tenants.setdefault(tenant, _Tenant())
             number = entry.next_number

@@ -42,11 +42,16 @@ import numpy as np
 from repro import observability as obs
 from repro.core.dictionary import Dictionary
 from repro.core.exd import ExDStats, _rescale_columns, normalize_columns
+from repro.core.fastdict import (
+    as_fast_dict_config,
+    fit_fast_dict,
+    operator_from_arrays,
+    operator_to_arrays,
+)
 from repro.core.transform import TransformedData
 from repro.errors import CheckpointError, ValidationError
 from repro.linalg.kernels import resolve_backend
 from repro.linalg.omp import ENCODE_BLOCK_COLS, batch_omp_matrix
-from repro.linalg.parallel_omp import cached_gram
 from repro.sparse.csc import CSCMatrix
 from repro.store.column_store import (
     ColumnStore,
@@ -54,7 +59,7 @@ from repro.store.column_store import (
     check_matrix_or_store,
     fsync_dir,
 )
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, derive_seed
 from repro.utils.validation import check_fraction, check_positive_int
 
 __all__ = [
@@ -227,6 +232,16 @@ class StreamingEncoder:
         contract, so mixing their blocks would break the bit-identity
         guarantee.  Checkpoints written before this field existed
         resume as ``numpy``.
+    fast_dict:
+        Learn a sparse-factor fast transform
+        (:class:`~repro.core.fastdict.FastDict`) of the sampled
+        dictionary before encoding; a float is the relative-complexity
+        budget ``RC``, or pass a
+        :class:`~repro.core.fastdict.FastDictConfig`.  The fit happens
+        once at run start (deterministic given ``seed``), the factored
+        dictionary is checkpointed in its factor form, and resumes
+        reload it without refitting — so resumed runs stay bit-identical.
+        Ignored when an already-factored ``dictionary`` is passed in.
     """
 
     def __init__(self, store: ColumnStore, size: int, eps: float, *,
@@ -237,7 +252,8 @@ class StreamingEncoder:
                  memory_budget_bytes: int | None = None,
                  block_width: int | None = None,
                  checkpoint_dir=None,
-                 backend=None) -> None:
+                 backend=None,
+                 fast_dict=None) -> None:
         self.store = check_matrix_or_store(store, "A")
         if not isinstance(store, ColumnStore):
             raise ValidationError(
@@ -264,6 +280,11 @@ class StreamingEncoder:
         self.workers = workers
         self.backend = resolve_backend(backend).name
         self.dictionary = dictionary
+        if fast_dict is not None and dictionary is not None \
+                and not isinstance(dictionary, Dictionary):
+            fast_dict = None  # already factored; nothing to fit
+        self.fast_dict = (None if fast_dict is None
+                          else as_fast_dict_config(fast_dict))
 
         # _width_pinned: the caller chose (or budget-derived) the width,
         # so a resume must match it; an un-pinned default instead adopts
@@ -307,6 +328,11 @@ class StreamingEncoder:
             "strict": self.strict,
             "block_width": self.block_width,
             "backend": self.backend,
+            "fast_dict": (None if self.fast_dict is None else {
+                "rc": float(self.fast_dict.rc),
+                "levels": int(self.fast_dict.levels),
+                "iters": int(self.fast_dict.iters),
+            }),
             "rows": int(self.store.shape[0]),
             "columns": int(self.store.shape[1]),
         }
@@ -327,11 +353,19 @@ class StreamingEncoder:
         self._checkpoints_written += 1
         obs.inc("store.checkpoints_written")
 
-    def _save_dictionary(self, dictionary: Dictionary) -> None:
+    def _save_dictionary(self, dictionary) -> None:
+        if isinstance(dictionary, Dictionary):
+            _atomic_savez(self.checkpoint_dir / DICTIONARY_NAME,
+                          atoms=dictionary.atoms,
+                          indices=dictionary.indices)
+            return
+        # Factored dictionary: persist the factor chain itself so a
+        # resume reconstructs the identical operator without refitting.
+        kind, arrays = operator_to_arrays(dictionary)
         _atomic_savez(self.checkpoint_dir / DICTIONARY_NAME,
-                      atoms=dictionary.atoms, indices=dictionary.indices)
+                      dictionary_kind=np.asarray(kind), **arrays)
 
-    def _load_dictionary(self) -> Dictionary:
+    def _load_dictionary(self):
         path = self.checkpoint_dir / DICTIONARY_NAME
         if not path.exists():
             raise CheckpointError(
@@ -339,6 +373,11 @@ class StreamingEncoder:
                 f"{DICTIONARY_NAME}; remove the directory and rerun")
         try:
             with np.load(path, allow_pickle=False) as npz:
+                if "dictionary_kind" in npz.files:
+                    kind = str(npz["dictionary_kind"])
+                    arrays = {k: npz[k] for k in npz.files
+                              if k != "dictionary_kind"}
+                    return operator_from_arrays(kind, arrays)
                 return Dictionary(npz["atoms"], npz["indices"])
         except (ValueError, OSError, KeyError) as exc:
             raise CheckpointError(
@@ -381,6 +420,8 @@ class StreamingEncoder:
         # Checkpoints written before the pluggable-kernel refactor have
         # no backend field; they were encoded by the numpy reference.
         params.setdefault("backend", "numpy")
+        # Likewise, pre-FastDict checkpoints encoded the dense sample.
+        params.setdefault("fast_dict", None)
         ck_width = params.get("block_width")
         if not self._width_pinned and isinstance(ck_width, int) \
                 and ck_width > 0 and ck_width % ENCODE_BLOCK_COLS == 0:
@@ -395,8 +436,17 @@ class StreamingEncoder:
                 f"checkpoint {path} parameters do not match this run "
                 f"({detail})")
         dictionary = self._load_dictionary()
-        if self.dictionary is not None and not np.array_equal(
-                self.dictionary.atoms, dictionary.atoms):
+        # With fast_dict configured, the checkpoint holds the *fitted*
+        # operator, not the dense source that was passed in — the fit
+        # provenance is pinned by the params check (rc/levels/iters and
+        # seed) instead of an atom comparison.
+        fitted_resume = (self.fast_dict is not None
+                         and self.dictionary is not None
+                         and isinstance(self.dictionary, Dictionary)
+                         and not isinstance(dictionary, Dictionary))
+        if self.dictionary is not None and not fitted_resume \
+                and not np.array_equal(
+                    self.dictionary.atoms, dictionary.atoms):
             raise CheckpointError(
                 f"checkpoint {path} was written with a different "
                 f"dictionary than the one passed in")
@@ -505,12 +555,18 @@ class StreamingEncoder:
                 dictionary = self.dictionary
             else:
                 dictionary = self._sample_dictionary()
+            if not resumed and self.fast_dict is not None \
+                    and isinstance(dictionary, Dictionary):
+                cfg = self.fast_dict
+                dictionary = fit_fast_dict(
+                    dictionary, rc=cfg.rc, levels=cfg.levels,
+                    iters=cfg.iters, seed=derive_seed(self.seed, 11))
             if self.checkpoint_dir is not None and not resumed:
                 self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
                 self._save_dictionary(dictionary)
                 self._write_checkpoint(entries, "in_progress")
 
-            gram = cached_gram(dictionary.atoms)
+            gram = dictionary.gram()
             blocks: list[_Block] = []
             encoded = reused = 0
             for index, (lo, hi) in enumerate(bounds):
@@ -530,7 +586,7 @@ class StreamingEncoder:
                 else:
                     work, norms = raw, None
                 c_blk, st = batch_omp_matrix(
-                    dictionary.atoms, work, self.eps,
+                    dictionary, work, self.eps,
                     max_atoms=self.max_atoms, strict=self.strict,
                     gram=gram, workers=self.workers,
                     backend=self.backend)
@@ -549,9 +605,14 @@ class StreamingEncoder:
                 self._write_checkpoint(entries, "complete")
 
             c, stats = self._assemble(dictionary, blocks, m, n)
+        meta = {"normalized": self.normalize}
+        if not isinstance(dictionary, Dictionary):
+            meta["fastdict_rc"] = float(dictionary.relative_complexity)
+            meta["fastdict_residual"] = float(getattr(dictionary,
+                                                      "residual", 0.0))
         transform = TransformedData(dictionary=dictionary, coefficients=c,
                                     eps=self.eps, method="exd",
-                                    meta={"normalized": self.normalize})
+                                    meta=meta)
         obs.inc("exd.transforms")
         obs.observe("exd.alpha", transform.alpha)
         report = StreamingReport(
@@ -562,7 +623,7 @@ class StreamingEncoder:
             resumed=resumed)
         return transform, stats, report
 
-    def _assemble(self, dictionary: Dictionary, blocks: list[_Block],
+    def _assemble(self, dictionary, blocks: list[_Block],
                   m: int, n: int) -> tuple[CSCMatrix, ExDStats]:
         """Concatenate per-block CSC triples into the full ``C``.
 
@@ -577,8 +638,10 @@ class StreamingEncoder:
             for b in blocks)
         total_iters = sum(b.iterations for b in blocks)
         # Additive form of the in-memory FLOP model: the DᵀA term
-        # 2·M·L·Σwᵢ telescopes to 2·M·N·L exactly.
-        flops = 2 * m * n * l + 4 * l * total_iters + 2 * c.nnz
+        # 2·T·Σwᵢ telescopes to 2·T·N exactly, where T = transform_nnz
+        # is the per-column Dᵀx cost (M·L dense, Σⱼ nnz(Sⱼ) factored).
+        tnnz = dictionary.transform_nnz
+        flops = 2 * tnnz * n + 4 * l * total_iters + 2 * c.nnz
         stats = ExDStats(
             columns=n,
             converged_columns=sum(b.converged for b in blocks),

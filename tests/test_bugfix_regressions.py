@@ -183,3 +183,46 @@ class TestRelativeStoppingRule:
         serial = lasso_gd(lambda v: a.T @ (a @ v), a.T @ y, a.shape[1],
                           1e-8, lr=1e-4, max_iter=30, tol=0.0)
         assert np.allclose(dist.x, serial.x, atol=1e-12)
+
+
+class TestDictionaryGramCached:
+    """``Dictionary.gram()`` used to recompute ``DᵀD`` on every call.
+
+    The method did a bare ``self.atoms.T @ self.atoms`` while every hot
+    path (encode, serve, streaming) already kept the same product in the
+    process-wide Gram LRU — so callers that innocently used the public
+    accessor paid an O(M·L²) product per call.  It now routes through
+    :func:`repro.linalg.parallel_omp.cached_gram`.
+    """
+
+    def test_gram_computed_once(self):
+        from repro.core.dictionary import Dictionary
+        from repro.linalg.parallel_omp import GRAM_CACHE
+
+        rng = np.random.default_rng(0)
+        d = Dictionary(rng.standard_normal((30, 12)),
+                       np.arange(12, dtype=np.int64))
+        GRAM_CACHE.clear()
+        g1 = d.gram()
+        g2 = d.gram()
+        assert g1 is g2, "second call must return the cached array"
+        assert GRAM_CACHE.misses == 1
+        assert GRAM_CACHE.hits == 1
+        np.testing.assert_allclose(g1, d.atoms.T @ d.atoms,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_encode_reuses_public_gram(self):
+        """The encode path and the public accessor share one entry."""
+        from repro.core.dictionary import Dictionary
+        from repro.linalg.omp import batch_omp_matrix
+        from repro.linalg.parallel_omp import GRAM_CACHE
+
+        rng = np.random.default_rng(1)
+        d = Dictionary(rng.standard_normal((30, 12)),
+                       np.arange(12, dtype=np.int64))
+        a = rng.standard_normal((30, 40))
+        GRAM_CACHE.clear()
+        d.gram()
+        batch_omp_matrix(d, a, 0.5)
+        assert GRAM_CACHE.misses == 1, \
+            "encode recomputed a Gram the accessor already cached"

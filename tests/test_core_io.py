@@ -113,7 +113,10 @@ class TestSaveLoad:
         with pytest.raises(ValidationError,
                            match="unsupported transform format"):
             load_transform(path)
-        assert core_io._FORMAT_VERSION == 1
+        # v2 added factored (FastDict / block-operator) dictionaries;
+        # dense transforms still round-trip through the v1 layout.
+        assert core_io._FORMAT_VERSION == 2
+        assert core_io._DENSE_FORMAT_VERSION == 1
 
     def test_loaded_transform_is_usable(self, transform, tmp_path, rng):
         back = load_transform(save_transform(transform, tmp_path / "t"))

@@ -312,3 +312,47 @@ class TestEndToEndConsistency:
             err = np.linalg.norm(a - d @ c.toarray(), axis=0)
             norms = np.linalg.norm(a, axis=0)
             assert np.all(err <= 0.5 * norms + 1e-9)
+
+
+@pytest.mark.parametrize("name", registered_backend_names())
+class TestDictOperatorConformance:
+    """Backends see identical (G, DᵀA) whether D arrives as a dense
+    array or as a DictOperator whose factor chain is exact — so their
+    outputs must be identical too, per backend.
+    """
+
+    @staticmethod
+    def _exact_operator(m, seed=0):
+        from repro.core.dictionary import Dictionary
+        from repro.core.fastdict import FastDict, FastFactor
+
+        rng = np.random.default_rng(seed)
+        fd = FastDict((FastFactor.diagonal(0.5 + rng.random(m)),
+                       FastFactor.permutation(rng.permutation(m))))
+        dense = Dictionary(fd.atoms.copy(),
+                           np.arange(m, dtype=np.int64))
+        return fd, dense
+
+    def test_operator_precompute_matches_dense(self, name):
+        _backend_or_skip(name)
+        fd, dense = self._exact_operator(24, seed=5)
+        rng = np.random.default_rng(6)
+        a = fd.atoms @ rng.standard_normal((24, 90))
+        a += 0.05 * rng.standard_normal(a.shape)
+        c1, s1 = batch_omp_matrix(dense.atoms, a, 0.3, backend=name)
+        c2, s2 = batch_omp_matrix(fd, a, 0.3, backend=name)
+        np.testing.assert_array_equal(c1.indptr, c2.indptr)
+        np.testing.assert_array_equal(c1.indices, c2.indices)
+        np.testing.assert_array_equal(c1.data, c2.data)
+        assert s1.total_iterations == s2.total_iterations
+
+    def test_operator_serial_vs_parallel(self, name):
+        _backend_or_skip(name)
+        fd, _ = self._exact_operator(24, seed=7)
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((24, 80))
+        c1, _ = batch_omp_matrix(fd, a, 0.4, backend=name)
+        c2, _ = parallel_batch_omp_matrix(fd, a, 0.4, workers=2,
+                                          backend=name)
+        np.testing.assert_array_equal(c1.indices, c2.indices)
+        np.testing.assert_array_equal(c1.data, c2.data)
