@@ -9,7 +9,9 @@ Commands
     column store for out-of-core runs.
 ``tune``
     Run the platform-aware tuner on a dataset and print the Sec. VII
-    tuning table.
+    tuning table; ``--sketch`` estimates α(L) from very sparse random
+    projections of a column sample instead of exact subset encodes
+    (a fraction of the bytes — see docs/online.md).
 ``transform``
     Build an ExD transform (tuned or fixed-L) and save it to ``.npz``;
     ``--fast-dict RC`` factors the sampled dictionary into a sparse
@@ -26,6 +28,12 @@ Commands
     their Gram matrices warm and micro-batches concurrent
     single-column encodes into shared-``G`` Batch-OMP calls
     (see :mod:`repro.serve`).
+``maintain``
+    Drift-aware online dictionary maintenance: stream minibatches
+    from the data source, watch measured (α, error) against the
+    fitted α(L) curve, refresh atoms with minibatch surrogate
+    updates and re-seed dead ones (see :mod:`repro.online` and
+    docs/online.md).
 
 Input data is either a named surrogate (``--dataset salina``), a
 ``.npy`` file of shape ``(M, N)`` (``--input``), or — for ``tune`` and
@@ -146,9 +154,22 @@ def cmd_tune(args) -> int:
     a = _load_matrix(args)
     cluster = platform_by_name(args.platform)
     model = CostModel(cluster)
-    result = tune_dictionary_size(a, args.eps, model,
-                                  objective=args.objective,
-                                  seed=args.seed, workers=args.workers)
+    if args.sketch or args.sketch_dim or args.sketch_columns:
+        from repro.core import SketchConfig, tune_dictionary_size_sketched
+
+        cfg = SketchConfig(dim=args.sketch_dim,
+                           columns=args.sketch_columns)
+        result = tune_dictionary_size_sketched(
+            a, args.eps, model, objective=args.objective,
+            sketch=cfg, seed=args.seed, workers=args.workers)
+        source = (f"alpha sketched from {result.sketch_columns} "
+                  f"columns projected to k={result.sketch_dim} dims")
+    else:
+        result = tune_dictionary_size(a, args.eps, model,
+                                      objective=args.objective,
+                                      seed=args.seed, workers=args.workers)
+        source = (f"alpha estimated from {result.subset_columns} "
+                  f"columns")
     rows = [[l, f"{alpha:.2f}", f"{nnz:.0f}", f"{cost:.4g}",
              "<-- L*" if l == result.best_size else ""]
             for l, alpha, nnz, cost in result.table]
@@ -156,8 +177,11 @@ def cmd_tune(args) -> int:
         ["L", "alpha(L)", "predicted nnz(C)",
          f"{args.objective} cost (flop-equiv)", ""],
         rows, title=f"Tuning on {cluster.describe()}, eps={args.eps} "
-                    f"(alpha estimated from {result.subset_columns} "
-                    f"columns)"))
+                    f"({source})"))
+    if getattr(result, "bytes_read", 0):
+        print(f"store bytes read for the sketch: "
+              f"{result.bytes_read / 2**20:.2f} MiB "
+              f"({result.chunks_read} chunks)")
     return 0
 
 
@@ -384,6 +408,69 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_maintain(args) -> int:
+    """Run the drift-aware online maintenance loop (docs/online.md)."""
+    import json
+
+    from repro.core import exd_transform, load_transform, save_transform
+    from repro.online import MaintenanceConfig, OnlineMaintainer
+    from repro.store import is_column_store
+    from repro.store.column_store import take_columns
+
+    a = _load_matrix(args)
+    if args.transform:
+        transform = load_transform(args.transform)
+        print(f"maintaining {args.transform}: D {transform.m}x"
+              f"{transform.l}, eps={transform.eps}")
+    else:
+        if args.size is None:
+            raise ReproError(
+                "maintain needs a dictionary: pass --transform FILE.npz "
+                "or --size L to fit one from the data's leading columns")
+        init = min(a.shape[1], args.init_columns)
+        seed_cols = take_columns(a, np.arange(init)) \
+            if is_column_store(a) \
+            else np.asarray(a[:, :init], dtype=np.float64)
+        transform, _ = exd_transform(seed_cols, args.size, args.eps,
+                                     seed=args.seed, workers=args.workers)
+        print(f"fitted initial D {transform.m}x{transform.l} from the "
+              f"first {init} columns (eps={args.eps})")
+    config = MaintenanceConfig(batch=args.batch,
+                               refresh_every=args.refresh_every)
+    maintainer = OnlineMaintainer(a, transform, config=config,
+                                  seed=args.seed, workers=args.workers,
+                                  backend=args.backend)
+    try:
+        for rep in maintainer.run(args.steps):
+            notes = []
+            if rep["drift_fired"]:
+                notes.append("drift")
+            if rep["atoms_refreshed"]:
+                notes.append(f"refreshed {rep['atoms_refreshed']}")
+            if rep["atoms_reseeded"]:
+                notes.append(f"re-seeded {len(rep['atoms_reseeded'])}")
+            if rep["retune_recommended"]:
+                notes.append("re-tune recommended")
+            print(f"step {rep['step']:>3}: alpha={rep['alpha']:.2f} "
+                  f"error={rep['error']:.4f}"
+                  + (f"  [{', '.join(notes)}]" if notes else ""))
+        if args.out:
+            path = save_transform(maintainer.build_generation(), args.out)
+            print(f"saved maintained transform to {path}")
+        if args.status_json:
+            with open(args.status_json, "w", encoding="utf-8") as fh:
+                json.dump(maintainer.status(), fh, indent=2)
+            print(f"wrote maintenance status to {args.status_json}")
+        else:
+            usage = maintainer.status()["atom_usage"]
+            print(f"atom usage: {usage['selections']} selections over "
+                  f"{usage['columns']} columns, "
+                  f"{usage['dead_atoms']} dead atoms")
+    finally:
+        maintainer.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -423,6 +510,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--objective",
                         choices=("time", "energy", "memory"),
                         default="time")
+    p_tune.add_argument("--sketch", action="store_true",
+                        help="estimate alpha(L) from very sparse random "
+                             "projections of a chunk-aligned column "
+                             "sample instead of exact subset encodes "
+                             "(reads a fraction of the bytes; see "
+                             "docs/online.md)")
+    p_tune.add_argument("--sketch-dim", type=int, default=None,
+                        metavar="K",
+                        help="projected row dimension (default: "
+                             "max(16, M/4), capped at M); implies "
+                             "--sketch")
+    p_tune.add_argument("--sketch-columns", type=int, default=None,
+                        metavar="COLS",
+                        help="columns in the sketch sample (default: "
+                             "the tuner's subset size); implies "
+                             "--sketch")
 
     p_tr = sub.add_parser("transform", help="build and save an ExD "
                                             "transform")
@@ -514,6 +617,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: serial; results are identical)")
     _add_backend_argument(p_srv)
 
+    p_mnt = sub.add_parser("maintain", help="drift-aware online "
+                                            "dictionary maintenance")
+    _add_data_arguments(p_mnt)
+    _add_observability_arguments(p_mnt)
+    p_mnt.add_argument("--store", metavar="DIR", default=None,
+                       help="maintain against a column store (the "
+                            "append generation counter drives "
+                            "fresh-data biasing)")
+    p_mnt.add_argument("--transform", metavar="FILE.npz", default=None,
+                       help="fitted transform to maintain (written by "
+                            "`transform`); without it, --size fits an "
+                            "initial dictionary from the data's "
+                            "leading columns")
+    p_mnt.add_argument("--size", type=int, default=None,
+                       help="dictionary size for the initial fit "
+                            "(ignored with --transform)")
+    p_mnt.add_argument("--init-columns", type=int, default=2048,
+                       help="leading columns used for the initial fit "
+                            "(default: 2048)")
+    p_mnt.add_argument("--steps", type=int, default=10,
+                       help="maintenance steps to run (default: 10)")
+    p_mnt.add_argument("--batch", type=int, default=256,
+                       help="minibatch columns per step (default: 256)")
+    p_mnt.add_argument("--refresh-every", type=int, default=1,
+                       help="block-coordinate atom refresh cadence in "
+                            "steps (default: 1; drift always triggers "
+                            "a refresh)")
+    p_mnt.add_argument("--out", metavar="FILE.npz", default=None,
+                       help="save the maintained dictionary as a new "
+                            "transform generation")
+    p_mnt.add_argument("--status-json", metavar="FILE", default=None,
+                       help="write the final maintainer status digest "
+                            "as JSON")
+
     p_pca = sub.add_parser("pca", help="top-k PCA through the transform")
     _add_data_arguments(p_pca)
     _add_observability_arguments(p_pca)
@@ -534,6 +671,7 @@ _COMMANDS = {
     "fit-fast": cmd_fit_fast,
     "pca": cmd_pca,
     "serve": cmd_serve,
+    "maintain": cmd_maintain,
 }
 
 

@@ -41,6 +41,11 @@ from repro.core.tuner import (
 from repro.core.evolve import ExtendResult, extend_transform, extend_transform_distributed
 from repro.core.framework import ExtDict
 from repro.core.io import load_transform, save_transform
+from repro.online.sketch import (
+    SketchConfig,
+    SketchedTuningResult,
+    tune_dictionary_size_sketched,
+)
 
 __all__ = [
     "DictOperator",
@@ -72,8 +77,11 @@ __all__ = [
     "estimate_alpha_from_subsets",
     "TuningResult",
     "FastTuningResult",
+    "SketchConfig",
+    "SketchedTuningResult",
     "tune_dictionary_size",
     "tune_dictionary_size_distributed",
+    "tune_dictionary_size_sketched",
     "tune_fast_dictionary",
     "find_min_feasible_size",
     "ExtendResult",

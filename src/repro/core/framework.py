@@ -282,6 +282,38 @@ class ExtDict:
         terminology (Sec. V-E)."""
         return self.update(a_new)
 
+    def maintain(self, a=None, *, config=None, curve=None):
+        """Build an :class:`~repro.online.OnlineMaintainer` on the fit.
+
+        Where :meth:`evolve` only *grows* the transform, the maintainer
+        keeps the fitted atoms healthy under drifting data: per-atom
+        usage statistics, Mensch/Mairal minibatch atom refresh,
+        dead-atom eviction/re-seeding, and a drift trigger against the
+        tuner's fitted α(L) curve (the last fit's tuning table is used
+        automatically when available; pass ``curve`` to override).
+
+        ``a`` is the data source to maintain against — a
+        :class:`~repro.store.ColumnStore` or dense matrix; it defaults
+        to nothing and is required (the fit may have consumed a
+        temporary subset).  Returns the maintainer; drive it with
+        ``step()``/``run()`` and publish snapshots with
+        ``build_generation()``.
+        """
+        from repro.online.maintainer import OnlineMaintainer
+
+        transform = self._require_fit()
+        if a is None:
+            raise ValidationError(
+                "maintain(a) needs the data source (ColumnStore or "
+                "matrix) the traffic comes from")
+        if curve is None and self.report_ is not None \
+                and len(self.report_.tuning_table) >= 2:
+            from repro.online.drift import fit_alpha_curve
+
+            curve = fit_alpha_curve(self.report_.tuning_table)
+        return OnlineMaintainer(a, transform, curve=curve, config=config,
+                                seed=self.seed, workers=self.workers)
+
     def preprocessing_report(self) -> PreprocessingReport:
         """Tuning/transformation overheads of the last fit (Table II)."""
         self._require_fit()

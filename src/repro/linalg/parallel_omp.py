@@ -40,6 +40,7 @@ import numpy as np
 
 from repro import observability as obs
 from repro.errors import DictionaryError, ValidationError
+from repro.online.stats import record_encode
 
 __all__ = [
     "GramCache",
@@ -114,6 +115,25 @@ class GramCache:
     def _evict(self, key: int) -> None:
         with self._lock:
             self._entries.pop(key, None)
+
+    def invalidate(self, d) -> bool:
+        """Explicitly drop the cached Gram for ``d`` (if present).
+
+        ``d`` is the atom array itself or anything carrying one in an
+        ``atoms`` attribute (a ``Dictionary``/``DictOperator``); the key
+        matches :meth:`get`'s.  The content-fingerprint check already
+        protects lookups against in-place mutation, but online atom
+        updates call this at every mutation so a stale ``G = DᵀD`` is
+        *deterministically* gone the moment the atoms change — not
+        merely detectable on the next hit.  Returns whether an entry
+        was actually evicted.
+        """
+        atoms = getattr(d, "atoms", d)
+        with self._lock:
+            dropped = self._entries.pop(id(atoms), None) is not None
+        if dropped:
+            obs.inc("gram_cache.invalidations")
+        return dropped
 
     @staticmethod
     def _fingerprint(d: np.ndarray) -> int:
@@ -415,6 +435,10 @@ def parallel_batch_omp_matrix(d, a, eps: float, *,
     for p in parts:
         obs.merge_counters(p[6])
     obs.merge_counters({"omp.flops": stats.flops})
+    # Parent-side atom-usage recording: the merged CSC already contains
+    # every worker's selections in column order, so recording here IS
+    # the cross-worker counter merge (same pattern as metric_deltas).
+    record_encode(op if op is not None else d, c)
     return c, stats
 
 

@@ -31,6 +31,10 @@ Metric-name conventions (dotted, subsystem-first):
                        batches, 429/504 rejections, hot-swaps, and
                        per-tenant ``serve.tenant.<t>.*`` columns/nnz
                        plus Eq. 2/3 cost accounting)
+``online.*``           drift-aware maintenance (minibatches observed,
+                       atoms refreshed/re-seeded, drift triggers,
+                       sketched-tuner sample sizes, generations
+                       built/published)
 =====================  ==============================================
 
 Span paths nest with ``/`` per thread (``extdict.fit/extdict.tune``).

@@ -1,0 +1,198 @@
+"""Drift detection against the tuner's fitted α(L) curve.
+
+The tuner (Sec. VII) measures the density curve α(L) once, on the data
+the dictionary was fitted to, and picks L by Eq. 2.  That curve is a
+property of the *data distribution*: when traffic drifts, the measured
+sparsity of fresh minibatches departs from the fitted curve long before
+accuracy falls off a cliff — columns from new subspaces need more atoms
+(α up) or stop meeting ε at all (error up).
+
+:func:`fit_alpha_curve` fits the standard log–log linear model
+``log α = a·log L + b`` to the tuner table's ``(L, α)`` points — α(L)
+is empirically near power-law over the tuner's geometric candidate grid
+(Fig. 4), and two points suffice.  :class:`DriftMonitor` then folds
+each maintenance minibatch's measured ``(α, error)`` into a rolling
+window and fires when either
+
+* the *windowed mean* α deviates from the curve's prediction by more
+  than ``alpha_tolerance`` (relative) — averaging first means minibatch
+  sampling noise cancels while a systematic shift survives, or
+* the windowed mean reconstruction error exceeds
+  ``eps · error_tolerance`` (the encode's own target, with slack),
+
+which the maintainer answers with an atom refresh and, on repeated
+firing, a (sketched) re-tune of L.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import observability as obs
+from repro.errors import ValidationError
+
+__all__ = ["AlphaCurve", "DriftConfig", "DriftMonitor", "fit_alpha_curve"]
+
+
+@dataclass(frozen=True)
+class AlphaCurve:
+    """Fitted ``α(L) ≈ exp(b) · L^a`` (log–log linear) model."""
+
+    slope: float
+    intercept: float
+    sizes: tuple
+    alphas: tuple
+
+    def predict(self, l: int) -> float:
+        """Model density at dictionary size ``l`` (α = nnz/N, the mean
+        selected atoms per column — bounded by L, not by 1)."""
+        alpha = float(np.exp(self.intercept + self.slope * np.log(l)))
+        return max(alpha, 1e-12)
+
+
+def fit_alpha_curve(points) -> AlphaCurve:
+    """Fit the log–log α(L) model to ``(L, α)`` pairs.
+
+    ``points`` is an iterable of pairs or of tuner-table rows (whose
+    first two entries are ``L`` and ``α``; extra entries — predicted
+    nnz, cost — are ignored, so ``TuningResult.table`` drops straight
+    in).  Requires ≥ 2 points with positive α.
+    """
+    sizes, alphas = [], []
+    for row in points:
+        l, alpha = row[0], row[1]
+        if alpha > 0:
+            sizes.append(int(l))
+            alphas.append(float(alpha))
+    if len(sizes) < 2:
+        raise ValidationError(
+            f"need at least 2 (L, alpha>0) points to fit an alpha "
+            f"curve, got {len(sizes)}")
+    logl = np.log(np.asarray(sizes, dtype=np.float64))
+    loga = np.log(np.asarray(alphas, dtype=np.float64))
+    slope, intercept = np.polyfit(logl, loga, 1)
+    return AlphaCurve(slope=float(slope), intercept=float(intercept),
+                      sizes=tuple(sizes), alphas=tuple(alphas))
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Trigger thresholds (see docs/online.md for the semantics)."""
+
+    window: int = 8             #: minibatches in the rolling window
+    min_observations: int = 3   #: don't fire before this many
+    alpha_tolerance: float = 0.25   #: relative bound on the windowed
+                                    #: mean α's deviation from the fit
+    error_tolerance: float = 1.25   #: error band is eps · this
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValidationError(f"window must be >= 1, got {self.window}")
+        if self.min_observations < 1:
+            raise ValidationError(
+                f"min_observations must be >= 1, "
+                f"got {self.min_observations}")
+        if self.alpha_tolerance <= 0 or self.error_tolerance <= 0:
+            raise ValidationError("tolerances must be positive")
+
+
+class DriftMonitor:
+    """Rolling comparison of measured (α, error) against the fit."""
+
+    def __init__(self, curve: AlphaCurve, l: int, eps: float,
+                 config: DriftConfig | None = None) -> None:
+        self.curve = curve
+        self.l = int(l)
+        self.eps = float(eps)
+        self.config = config or DriftConfig()
+        self.expected_alpha = curve.predict(self.l)
+        self._alphas: deque = deque(maxlen=self.config.window)
+        self._errors: deque = deque(maxlen=self.config.window)
+        self.observations = 0
+        self.triggers = 0
+        self._last: dict = {}
+
+    def observe(self, measured_alpha: float,
+                measured_error: float) -> bool:
+        """Fold one minibatch's measurements in; returns "fired now?".
+
+        ``measured_alpha`` is ``nnz(C)/n`` — mean selected atoms per
+        column, the tuner table's α units; ``measured_error`` the
+        relative reconstruction error ``‖X − DC‖_F / ‖X‖_F``.
+        """
+        deviation = abs(float(measured_alpha) - self.expected_alpha) \
+            / self.expected_alpha
+        self._alphas.append(float(measured_alpha))
+        self._errors.append(float(measured_error))
+        self.observations += 1
+        fired = self.fired
+        self._last = {
+            "alpha": float(measured_alpha),
+            "error": float(measured_error),
+            "alpha_deviation": deviation,
+        }
+        if fired:
+            self.triggers += 1
+            obs.inc("online.drift_triggers")
+        return fired
+
+    @property
+    def mean_alpha_deviation(self) -> float:
+        """Relative deviation of the windowed mean α from the fit.
+
+        Averaging *before* taking the deviation lets per-minibatch
+        sampling noise cancel (a 64-column minibatch's α easily swings
+        ±15% around the population value) while a systematic shift in
+        the traffic survives the average untouched.
+        """
+        if not self._alphas:
+            return 0.0
+        return abs(float(np.mean(self._alphas)) - self.expected_alpha) \
+            / self.expected_alpha
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean(self._errors)) if self._errors else 0.0
+
+    @property
+    def fired(self) -> bool:
+        """Trigger condition over the current window."""
+        if self.observations < self.config.min_observations:
+            return False
+        if self.mean_alpha_deviation > self.config.alpha_tolerance:
+            return True
+        return self.mean_error > self.eps * self.config.error_tolerance
+
+    def reset(self) -> None:
+        """Clear the window after a refresh/re-tune handled the drift."""
+        self._alphas.clear()
+        self._errors.clear()
+        self.observations = 0
+
+    def rebase(self, curve: AlphaCurve, l: int | None = None) -> None:
+        """Adopt a re-fitted curve (after a re-tune) and start over."""
+        self.curve = curve
+        if l is not None:
+            self.l = int(l)
+        self.expected_alpha = curve.predict(self.l)
+        self.reset()
+
+    def status(self) -> dict:
+        """JSON-ready digest for ``GET /v1/metrics`` / the CLI."""
+        return {
+            "l": self.l,
+            "eps": self.eps,
+            "expected_alpha": self.expected_alpha,
+            "mean_alpha_deviation": self.mean_alpha_deviation,
+            "mean_error": self.mean_error,
+            "alpha_tolerance": self.config.alpha_tolerance,
+            "error_band": self.eps * self.config.error_tolerance,
+            "observations": int(self.observations),
+            "window": int(self.config.window),
+            "fired": self.fired,
+            "triggers": int(self.triggers),
+            "last": dict(self._last),
+        }

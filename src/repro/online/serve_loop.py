@@ -1,0 +1,136 @@
+"""Background maintenance for the serving daemon.
+
+:class:`MaintenanceLoop` runs an :class:`~repro.online.maintainer.
+OnlineMaintainer` on its own daemon thread next to a
+:class:`~repro.serve.registry.DictionaryRegistry` tenant.  Each tick
+runs one maintenance step; when the step refreshed or re-seeded atoms
+(always when drift fired), the loop snapshots the working dictionary
+into a fresh generation and publishes it through the registry's
+warm-before-visible hot-swap — exactly the path operators use manually
+via ``POST /v1/dictionaries`` — so in-flight encodes finish against the
+generation they resolved while new traffic atomically sees the
+refreshed atoms.
+
+The loop never blocks the request path: maintenance encodes run on the
+loop thread against the maintainer's private working copy, and the only
+shared touch points are the registry swap (its own lock) and the Gram
+LRU (warmed before visibility).  ``GET /v1/metrics`` embeds
+:meth:`MaintenanceLoop.status` — drift status, atom-usage summary and
+publish history.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import observability as obs
+from repro.online.maintainer import OnlineMaintainer
+
+__all__ = ["MaintenanceLoop"]
+
+
+class MaintenanceLoop:
+    """Periodic maintenance + hot-swap publication for one tenant."""
+
+    def __init__(self, registry, tenant: str,
+                 maintainer: OnlineMaintainer, *,
+                 interval_s: float = 5.0,
+                 publish_on_change: bool = True,
+                 min_publish_interval_s: float = 0.0) -> None:
+        self.registry = registry
+        self.tenant = tenant
+        self.maintainer = maintainer
+        self.interval_s = float(interval_s)
+        self.publish_on_change = bool(publish_on_change)
+        self.min_publish_interval_s = float(min_publish_interval_s)
+        self.published = 0
+        self.last_published_at: float | None = None
+        self.last_report: dict | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # one tick (callable synchronously from tests / the CLI)
+    # ------------------------------------------------------------------
+    def run_once(self) -> dict:
+        """One maintenance step; publish a generation if atoms changed."""
+        report = self.maintainer.step()
+        changed = bool(report["atoms_refreshed"]
+                       or report["atoms_reseeded"])
+        published = False
+        if changed and self.publish_on_change and self._may_publish():
+            generation = self.maintainer.build_generation()
+            gen = self.registry.add_transform(
+                self.tenant, generation,
+                source=f"maintenance:step{report['step']}",
+                set_default=True)
+            with self._lock:
+                self.published += 1
+                self.last_published_at = time.time()
+            published = True
+            report["published_generation"] = gen.number
+            obs.inc("online.generations_published")
+        report["published"] = published
+        with self._lock:
+            self.last_report = report
+        return report
+
+    def _may_publish(self) -> bool:
+        with self._lock:
+            if self.last_published_at is None:
+                return True
+            return (time.time() - self.last_published_at
+                    >= self.min_publish_interval_s)
+
+    # ------------------------------------------------------------------
+    # thread lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"maintenance-{self.tenant}")
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal the thread and join it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.run_once()
+            except Exception:  # noqa: BLE001 - keep the daemon alive
+                obs.inc("online.maintenance_errors")
+            self._stop.wait(self.interval_s)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """JSON-ready digest for ``GET /v1/metrics``."""
+        with self._lock:
+            last_published_at = self.last_published_at
+            published = self.published
+            last_report = dict(self.last_report) \
+                if self.last_report else None
+        return {
+            "tenant": self.tenant,
+            "running": self.running,
+            "interval_s": self.interval_s,
+            "published_generations": published,
+            "last_published_at": last_published_at,
+            "last_step": last_report,
+            "maintainer": self.maintainer.status(),
+        }

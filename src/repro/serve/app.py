@@ -63,6 +63,7 @@ class ServeApp:
             else MicroBatcher(self.registry, **batcher_kwargs)
         self.default_tenant = default_tenant
         self.started_at = time.time()
+        self.maintenance = None  # MaintenanceLoop, via attach_maintenance
         self._server: asyncio.AbstractServer | None = None
         self._routes = {
             ("GET", "/healthz"): self._healthz,
@@ -96,12 +97,28 @@ class ServeApp:
         return sock[0], sock[1]
 
     async def stop(self) -> None:
-        """Stop accepting, drain the batcher."""
+        """Stop accepting, halt maintenance, drain the batcher."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.maintenance is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.maintenance.stop)
         await self.batcher.stop()
+
+    def attach_maintenance(self, loop, *, start: bool = True):
+        """Attach a :class:`~repro.online.serve_loop.MaintenanceLoop`.
+
+        The loop's drift status and atom-usage summaries appear under
+        ``meta.maintenance`` in ``GET /v1/metrics``; it is stopped with
+        the app.  ``start=False`` attaches without starting the thread
+        (tests drive ``run_once`` directly).
+        """
+        self.maintenance = loop
+        if start:
+            loop.start()
+        return loop
 
     async def run_forever(self, host: str, port: int) -> None:
         """CLI entry: start and serve until cancelled."""
@@ -306,7 +323,7 @@ class ServeApp:
                 "k": int(len(values))}
 
     async def _metrics(self, _body: dict) -> dict:
-        report = obs.collect_report(command="serve", meta={
+        meta = {
             "uptime_s": time.time() - self.started_at,
             "tenants": len(self.registry.tenants()),
             "queue_depth": self.batcher.queue_depth,
@@ -316,5 +333,8 @@ class ServeApp:
             "max_batch": self.batcher.max_batch,
             "max_wait_ms": self.batcher.max_wait * 1e3,
             "backend": self.batcher.backend,
-        })
+        }
+        if self.maintenance is not None:
+            meta["maintenance"] = self.maintenance.status()
+        report = obs.collect_report(command="serve", meta=meta)
         return report.to_dict()

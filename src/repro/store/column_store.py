@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from pathlib import Path
 
@@ -131,6 +132,8 @@ class ColumnStore:
             "chunk_width": int(chunk_width),
             "chunks": [],
             "attrs": dict(attrs or {}),
+            "generation": 0,
+            "last_append_at": None,
         }
         _atomic_write_json(path / MANIFEST_NAME, manifest)
         return cls(path, manifest)
@@ -217,6 +220,42 @@ class ColumnStore:
         m = self.shape[0]
         return sum(int(c["columns"]) * m * self.dtype.itemsize
                    for c in self._manifest["chunks"])
+
+    @property
+    def generation(self) -> int:
+        """Append counter: +1 on every successful ``append_columns``.
+
+        Monotonically increasing, persisted in the manifest; stores
+        written before this key existed read as generation 0.
+        """
+        return int(self._manifest.get("generation", 0))
+
+    @property
+    def last_append_at(self) -> float | None:
+        """Unix timestamp of the last append (``None`` if never)."""
+        value = self._manifest.get("last_append_at")
+        return None if value is None else float(value)
+
+    def describe(self) -> dict:
+        """One JSON-ready snapshot of the store's metadata.
+
+        What the drift monitor (and ``repro info``/``maintain``) polls
+        to decide whether new data arrived — no chunk is touched.
+        """
+        m, n = self.shape
+        return {
+            "path": str(self.path),
+            "format_version": int(self._manifest["format_version"]),
+            "rows": m,
+            "columns": n,
+            "dtype": str(self.dtype),
+            "chunk_width": self.chunk_width,
+            "n_chunks": self.n_chunks,
+            "nbytes": self.nbytes,
+            "generation": self.generation,
+            "last_append_at": self.last_append_at,
+            "attrs": self.attrs,
+        }
 
     def chunk_bounds(self) -> list[tuple[int, int]]:
         """``[start, stop)`` column range of every chunk, in order."""
@@ -365,6 +404,14 @@ class ColumnStore:
         manifest = dict(self._manifest)
         manifest["chunks"] = chunks
         manifest["columns"] = int(self._manifest["columns"]) + appended
+        # Monotone append generation + wall-clock stamp: the drift
+        # monitor asks "how much new data since the last refresh"
+        # through describe() without scanning chunks.  Pre-generation
+        # manifests read as generation 0 (missing keys default), and
+        # fingerprint() ignores both keys so checkpoints stay valid.
+        manifest["generation"] = \
+            int(self._manifest.get("generation", 0)) + 1
+        manifest["last_append_at"] = time.time()
         _atomic_write_json(self.path / MANIFEST_NAME, manifest)
         self._manifest = manifest
         obs.inc("store.columns_appended", appended)

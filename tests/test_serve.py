@@ -588,6 +588,126 @@ class TestHTTP:
         assert body["support"] == [int(i) for i in
                                    c_ref.indices[:c_ref.indptr[1]]]
 
+    def test_maintenance_swap_under_load_never_torn(self, server, data,
+                                                    transform):
+        """Concurrent encodes racing a maintenance hot-swap must each be
+        bit-identical to ONE of the two generations — a response mixing
+        the old Gram with the new atoms (or vice versa) is a torn read.
+
+        The swapped-in generation comes from the real maintenance path:
+        an ``OnlineMaintainer`` refreshes atoms off the serve thread and
+        ``build_generation`` snapshots them for the registry swap.
+        """
+        from repro.online import MaintenanceConfig, OnlineMaintainer
+
+        mnt = OnlineMaintainer(data, transform, seed=0,
+                               config=MaintenanceConfig(batch=64))
+        try:
+            mnt.run(2)  # mutate the working copy: gen2 differs from gen1
+            gen2_transform = mnt.build_generation()
+        finally:
+            mnt.close()
+        d1 = transform.dictionary.atoms
+        d2 = gen2_transform.dictionary.atoms
+        assert not np.array_equal(d1, d2)
+
+        k = 48
+        ref = {}
+        for number, atoms in ((1, d1), (2, d2)):
+            c, _ = batch_omp_matrix(atoms, data[:, :k], EPS)
+            ref[number] = c
+
+        stop = threading.Event()
+        failures = []
+        seen_generations = set()
+
+        def hammer(worker):
+            j = worker
+            while not stop.is_set():
+                col = j % k
+                status, body, _ = server.request(
+                    "POST", "/v1/encode",
+                    {"column": [float(v) for v in data[:, col]]})
+                if status != 200:
+                    failures.append((status, body))
+                    return
+                c_ref = ref.get(body["generation"])
+                if c_ref is None:
+                    failures.append(("generation", body["generation"]))
+                    return
+                lo = int(c_ref.indptr[col])
+                hi = int(c_ref.indptr[col + 1])
+                support_ok = body["support"] == [
+                    int(i) for i in c_ref.indices[lo:hi]]
+                coef_ok = np.array_equal(
+                    np.asarray(body["coefficients"]),
+                    np.asarray(c_ref.data[lo:hi]))
+                if not (support_ok and coef_ok):
+                    failures.append(("torn", body["generation"], col))
+                    return
+                seen_generations.add(body["generation"])
+                j += 1
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            time.sleep(0.15)
+            # the maintenance publish: warm-before-visible hot-swap
+            gen = server.app.registry.add_transform(
+                "default", gen2_transform, source="maintenance:test",
+                set_default=True)
+            assert gen.number == 2
+            time.sleep(0.15)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(10)
+        assert not failures, failures[:3]
+        assert 2 in seen_generations, "no request saw the new generation"
+
+    def test_metrics_expose_maintenance_status(self, data, transform):
+        """GET /v1/metrics embeds drift status and atom-usage summaries
+        while a maintenance loop is attached."""
+        from repro.online import (
+            MaintenanceConfig,
+            MaintenanceLoop,
+            OnlineMaintainer,
+        )
+
+        app = ServeApp(max_batch=8, max_wait_ms=1.0, observe=True)
+        app.registry.add_transform("default", transform)
+        observability.reset()
+        mnt = OnlineMaintainer(data, transform, seed=0,
+                               config=MaintenanceConfig(batch=32))
+        loop = MaintenanceLoop(app.registry, "default", mnt,
+                               interval_s=60.0)
+        try:
+            with _Server(app) as srv:
+                srv.app.attach_maintenance(loop, start=False)
+                loop.run_once()
+                loop.run_once()
+                status, report, _ = srv.request("GET", "/v1/metrics")
+                assert status == 200
+                maint = report["meta"]["maintenance"]
+                assert maint["tenant"] == "default"
+                assert maint["maintainer"]["steps"] == 2
+                usage = maint["maintainer"]["atom_usage"]
+                assert usage["atoms"] == transform.l
+                assert usage["columns"] > 0
+                counters = report["metrics"]["counters"]
+                assert counters.get("online.steps", 0) == 2
+                # the publication went through the registry hot-swap
+                if maint["published_generations"]:
+                    gens = srv.app.registry.describe()
+                    default = gens["tenants"]["default"]
+                    assert default["default_generation"] > 1
+        finally:
+            mnt.close()
+            observability.disable()
+            observability.reset()
+
     def test_pinned_generation_survives_swap(self, server, data,
                                              transform, transform_b,
                                              tmp_path):

@@ -126,6 +126,48 @@ class TestColumnStore:
         np.testing.assert_array_equal(take_columns(data, cols),
                                       data[:, cols])
 
+    def test_generation_counts_appends_monotonically(self, store, rng):
+        """The append generation counter lets pollers (the online
+        maintainer) detect new data without touching a chunk."""
+        g0 = store.generation
+        store.append_columns(rng.standard_normal((M, 10)))
+        assert store.generation == g0 + 1
+        store.append_columns(rng.standard_normal((M, 5)))
+        assert store.generation == g0 + 2
+
+    def test_generation_survives_reopen(self, store, tmp_path, rng):
+        store.append_columns(rng.standard_normal((M, 10)))
+        expect = store.generation
+        again = ColumnStore.open(tmp_path / "a.store")
+        assert again.generation == expect
+        assert again.last_append_at == store.last_append_at
+
+    def test_last_append_timestamp(self, store, rng):
+        assert store.last_append_at is None or \
+            isinstance(store.last_append_at, float)
+        store.append_columns(rng.standard_normal((M, 3)))
+        assert isinstance(store.last_append_at, float)
+        assert store.last_append_at > 0
+
+    def test_describe_digest(self, data, store, rng):
+        d = store.describe()
+        assert d["rows"] == M and d["columns"] == N
+        assert d["chunk_width"] == 256
+        assert d["n_chunks"] == store.n_chunks
+        assert d["generation"] == store.generation
+        assert d["dtype"] == "float64"
+        store.append_columns(rng.standard_normal((M, 10)))
+        d2 = store.describe()
+        assert d2["columns"] == N + 10
+        assert d2["generation"] == d["generation"] + 1
+
+    def test_generation_does_not_perturb_fingerprint_keys(self, store):
+        """fingerprint() hashes content-bearing manifest keys only;
+        the bookkeeping keys ride along without breaking resume."""
+        before = store.fingerprint()
+        again = ColumnStore.open(store.path)
+        assert again.fingerprint() == before
+
 
 class TestCrashSafeAppend:
     """Regression suite for the append-rewrites-live-chunk bug.
